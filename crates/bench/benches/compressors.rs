@@ -1,0 +1,51 @@
+//! Microbenchmarks of the compression algorithms over every data class.
+
+use compresso_compression::{Bdi, Bpc, Compressor, Fpc, Line};
+use compresso_workloads::{data::materialize, DataClass};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn lines_of(class: DataClass) -> Vec<Line> {
+    (0..64u64).map(|k| materialize(class, 42, k, 0)).collect()
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compress");
+    for class in [DataClass::Zero, DataClass::DeltaInt, DataClass::Pointer, DataClass::Random] {
+        let lines = lines_of(class);
+        group.bench_function(format!("bpc/{class:?}"), |b| {
+            let bpc = Bpc::new();
+            b.iter(|| lines.iter().map(|l| bpc.compressed_size(l)).sum::<usize>())
+        });
+        group.bench_function(format!("bdi/{class:?}"), |b| {
+            let bdi = Bdi::new();
+            b.iter(|| lines.iter().map(|l| bdi.compressed_size(l)).sum::<usize>())
+        });
+        group.bench_function(format!("fpc/{class:?}"), |b| {
+            let fpc = Fpc::new();
+            b.iter(|| lines.iter().map(|l| fpc.compressed_size(l)).sum::<usize>())
+        });
+    }
+    group.finish();
+}
+
+fn bench_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("roundtrip");
+    let lines = lines_of(DataClass::DeltaInt);
+    group.bench_function("bpc/compress+decompress", |b| {
+        let bpc = Bpc::new();
+        b.iter_batched(
+            || lines.clone(),
+            |lines| {
+                lines
+                    .iter()
+                    .map(|l| bpc.decompress(&bpc.compress(l))[0] as usize)
+                    .sum::<usize>()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compress, bench_roundtrip);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Microbenchmarks of Compresso's controller structures: metadata cache,
+//! LinePack offset calculation, chunk allocator, overflow predictor.
+
+use compresso_compression::BinSet;
+use compresso_core::{ChunkAllocator, MetadataCache, OverflowPredictor, PageMeta};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_metadata_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metadata_cache");
+    group.bench_function("hit", |b| {
+        let mut mc = MetadataCache::paper_default(true);
+        mc.access(7, false, false);
+        b.iter(|| mc.access(7, false, false).hit)
+    });
+    group.bench_function("miss_stream", |b| {
+        let mut mc = MetadataCache::paper_default(true);
+        let mut page = 0u64;
+        b.iter(|| {
+            page += 1;
+            mc.access(page, page.is_multiple_of(2), false).hit
+        })
+    });
+    group.finish();
+}
+
+fn bench_offset_calc(c: &mut Criterion) {
+    // §VII-E: the offset calculation is a 63-input add of 2-bit codes;
+    // this measures our software model of it.
+    let bins = BinSet::aligned4();
+    let mut meta = PageMeta { valid: true, page_bytes: 4096, ..PageMeta::invalid() };
+    for (i, bin) in meta.line_bins.iter_mut().enumerate() {
+        *bin = (i % 4) as u8;
+    }
+    meta.inflated = vec![3, 9, 17];
+    c.bench_function("linepack_offset_calc", |b| {
+        b.iter(|| {
+            (0..64usize)
+                .map(|line| match meta.locate(line, &bins) {
+                    compresso_core::LineLocation::Packed { offset, .. } => offset,
+                    _ => 0,
+                })
+                .sum::<u32>()
+        })
+    });
+}
+
+fn bench_allocator(c: &mut Criterion) {
+    c.bench_function("chunk_alloc_free", |b| {
+        let mut alloc = ChunkAllocator::new(64 << 20);
+        b.iter(|| {
+            let a = alloc.alloc().expect("space");
+            let b2 = alloc.alloc().expect("space");
+            alloc.free(a);
+            alloc.free(b2);
+        })
+    });
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    c.bench_function("overflow_predictor", |b| {
+        let mut p = OverflowPredictor::new();
+        let mut page = 0u64;
+        b.iter(|| {
+            page = (page + 1) % 1024;
+            p.line_overflow(page);
+            p.should_inflate(page)
+        })
+    });
+}
+
+criterion_group!(benches, bench_metadata_cache, bench_offset_calc, bench_allocator, bench_predictor);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! One Criterion bench per paper table/figure: each runs the same code
+//! path as the corresponding `compresso-exp` binary at reduced scale, so
+//! `cargo bench` regenerates (a small version of) every artifact and
+//! tracks its cost.
+
+use compresso_exp::{energy_fig, fig2, fig7, perf, tradeoffs, SystemKind};
+use compresso_oskit::{capacity_run, Budget};
+use compresso_workloads::{benchmark, compresspoint, full_run, simpoint};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn configured(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10).measurement_time(Duration::from_secs(4)).warm_up_time(Duration::from_millis(500));
+    group
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = configured(c);
+
+    group.bench_function("fig2_compression_ratio", |b| {
+        let profile = benchmark("gcc").expect("paper benchmark");
+        b.iter(|| fig2::ratios_for(&profile, 40).bpc_linepack)
+    });
+
+    group.bench_function("fig4_extra_accesses", |b| {
+        b.iter(|| {
+            let profile = benchmark("libquantum").expect("paper benchmark");
+            let cfg = compresso_core::CompressoConfig::unoptimized(
+                compresso_core::PageAllocation::Chunks512,
+            );
+            compresso_exp::run_single(&profile, &SystemKind::Custom("fig4", cfg), 1_000)
+                .device
+                .extra_breakdown()
+        })
+    });
+
+    group.bench_function("fig6_optimizations", |b| {
+        b.iter(|| {
+            let profile = benchmark("libquantum").expect("paper benchmark");
+            compresso_exp::run_single(&profile, &SystemKind::Compresso, 1_000)
+                .device
+                .extra_breakdown()
+        })
+    });
+
+    group.bench_function("fig7_repacking", |b| {
+        b.iter(|| fig7::repacking_impact("gcc", 60).relative)
+    });
+
+    group.bench_function("fig9_compresspoints", |b| {
+        let profile = benchmark("GemsFDTD").expect("paper benchmark");
+        b.iter(|| {
+            let run = full_run(&profile, 1.2, 64);
+            (simpoint(&run).index, compresspoint(&run).index)
+        })
+    });
+
+    group.bench_function("fig10_single_core", |b| {
+        let profile = benchmark("povray").expect("paper benchmark");
+        b.iter(|| perf::perf_row(&profile, 0.7, 1_000, 200_000).overall_compresso())
+    });
+
+    group.bench_function("fig11_multicore", |b| {
+        b.iter(|| {
+            perf::mix_row("mix6", ["perlbench", "bzip2", "gromacs", "gobmk"], 0.7, 500, 100_000)
+                .overall_compresso()
+        })
+    });
+
+    group.bench_function("fig12_energy", |b| {
+        b.iter(|| energy_fig::energy_row("soplex", 1_000).dram_compresso)
+    });
+
+    group.bench_function("tab2_capacity_sweep", |b| {
+        let profile = benchmark("xalancbmk").expect("paper benchmark");
+        b.iter(|| {
+            capacity_run(&profile, &Budget::constrained(0.7, profile.footprint_pages), 200_000)
+                .runtime_cycles
+        })
+    });
+
+    group.bench_function("tradeoff_bins", |b| {
+        b.iter(|| tradeoffs::line_bin_tradeoff(10, 500).len())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

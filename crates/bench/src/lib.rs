@@ -1,0 +1,5 @@
+//! Criterion benchmark crate for the Compresso reproduction.
+//!
+//! See the `benches/` directory: `compressors` (algorithm microbenches),
+//! `device_micro` (controller structures), and `figures` (one bench per
+//! paper table/figure at reduced scale).

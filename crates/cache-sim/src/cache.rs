@@ -1,0 +1,219 @@
+//! A set-associative, write-back, write-allocate cache with LRU
+//! replacement.
+
+/// Per-cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Dirty lines evicted (writebacks to the next level).
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Miss rate in [0, 1]; 0 when there were no accesses.
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// Monotonic use stamp; smallest is the LRU victim.
+    used: u64,
+}
+
+/// Result of one cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheAccess {
+    /// Whether the line was present.
+    pub hit: bool,
+    /// Dirty line evicted to make room (line address), if any.
+    pub evicted_dirty: Option<u64>,
+}
+
+/// A single cache level.
+///
+/// Addresses are byte addresses; lines are 64 B.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: Vec<Vec<Way>>,
+    set_mask: u64,
+    stamp: u64,
+    stats: CacheStats,
+}
+
+/// Cache line size in bytes (Tab. III: 64 B everywhere).
+pub const LINE_BYTES: u64 = 64;
+
+impl Cache {
+    /// Creates a cache of `capacity_bytes` with `assoc` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is not a power-of-two number of sets.
+    pub fn new(capacity_bytes: u64, assoc: usize) -> Self {
+        let sets = capacity_bytes / LINE_BYTES / assoc as u64;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Self {
+            sets: vec![
+                vec![Way { tag: 0, valid: false, dirty: false, used: 0 }; assoc];
+                sets as usize
+            ],
+            set_mask: sets - 1,
+            stamp: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets statistics; contents are preserved.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn index(&self, addr: u64) -> (usize, u64) {
+        let line = addr / LINE_BYTES;
+        ((line & self.set_mask) as usize, line >> self.set_mask.count_ones())
+    }
+
+    /// Looks up `addr` without changing state; returns `true` on hit.
+    pub fn probe(&self, addr: u64) -> bool {
+        let (set, tag) = self.index(addr);
+        self.sets[set].iter().any(|w| w.valid && w.tag == tag)
+    }
+
+    /// Accesses `addr`, allocating on miss. `is_write` marks the line
+    /// dirty. Returns hit/miss and any dirty eviction.
+    pub fn access(&mut self, addr: u64, is_write: bool) -> CacheAccess {
+        self.stamp += 1;
+        let (set, tag) = self.index(addr);
+        let set_ways = &mut self.sets[set];
+        if let Some(way) = set_ways.iter_mut().find(|w| w.valid && w.tag == tag) {
+            way.used = self.stamp;
+            way.dirty |= is_write;
+            self.stats.hits += 1;
+            return CacheAccess { hit: true, evicted_dirty: None };
+        }
+        self.stats.misses += 1;
+        // Victim: invalid way first, else LRU.
+        let victim = set_ways
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| if w.valid { w.used } else { 0 })
+            .map(|(i, _)| i)
+            .expect("associativity >= 1");
+        let old = set_ways[victim];
+        set_ways[victim] = Way { tag, valid: true, dirty: is_write, used: self.stamp };
+        let evicted_dirty = if old.valid && old.dirty {
+            self.stats.writebacks += 1;
+            Some(self.line_addr(set, old.tag))
+        } else {
+            None
+        };
+        CacheAccess { hit: false, evicted_dirty }
+    }
+
+    /// Invalidates `addr` if present, returning its line address when the
+    /// line was dirty (back-invalidation writeback).
+    pub fn invalidate(&mut self, addr: u64) -> Option<u64> {
+        let (set, tag) = self.index(addr);
+        for way in self.sets[set].iter_mut() {
+            if way.valid && way.tag == tag {
+                way.valid = false;
+                if way.dirty {
+                    way.dirty = false;
+                    return Some(addr / LINE_BYTES * LINE_BYTES);
+                }
+                return None;
+            }
+        }
+        None
+    }
+
+    fn line_addr(&self, set: usize, tag: u64) -> u64 {
+        ((tag << self.set_mask.count_ones()) | set as u64) * LINE_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = Cache::new(4096, 4); // 16 sets
+        assert!(!c.access(0, false).hit);
+        assert!(c.access(0, false).hit);
+        assert!(c.access(32, false).hit, "same line, different offset");
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = Cache::new(256, 2); // 2 sets, 2 ways
+        let set_stride = 2 * LINE_BYTES; // addresses mapping to set 0
+        c.access(0, false);
+        c.access(set_stride * 2, false); // fills way 2 of set 0
+        c.access(0, false); // touch A: B becomes LRU
+        let r = c.access(set_stride * 4, false); // evicts B (clean)
+        assert!(!r.hit);
+        assert_eq!(r.evicted_dirty, None);
+        assert!(c.probe(0), "MRU line must survive");
+        assert!(!c.probe(set_stride * 2), "LRU line must be evicted");
+    }
+
+    #[test]
+    fn dirty_eviction_reports_address() {
+        let mut c = Cache::new(256, 2);
+        let set_stride = 2 * LINE_BYTES;
+        c.access(64, true); // set 1, dirty
+        c.access(64 + set_stride, false);
+        let r = c.access(64 + 2 * set_stride, false); // evicts dirty line
+        assert_eq!(r.evicted_dirty, Some(64));
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn write_marks_dirty_on_hit() {
+        let mut c = Cache::new(256, 2);
+        let set_stride = 2 * LINE_BYTES;
+        c.access(0, false);
+        c.access(0, true); // dirty via hit
+        c.access(set_stride * 2, false);
+        let r = c.access(set_stride * 4, false);
+        assert_eq!(r.evicted_dirty, Some(0));
+    }
+
+    #[test]
+    fn invalidate_dirty_line() {
+        let mut c = Cache::new(256, 2);
+        c.access(128, true);
+        assert_eq!(c.invalidate(128), Some(128));
+        assert!(!c.probe(128));
+        assert_eq!(c.invalidate(128), None, "second invalidate is a no-op");
+    }
+
+    #[test]
+    fn miss_rate() {
+        let mut c = Cache::new(4096, 4);
+        c.access(0, false);
+        c.access(0, false);
+        assert!((c.stats().miss_rate() - 0.5).abs() < 1e-9);
+    }
+}

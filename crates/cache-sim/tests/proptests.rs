@@ -1,0 +1,93 @@
+//! Property tests on cache and core invariants.
+
+use compresso_cache_sim::{Backend, Cache, Core, CoreParams, Hierarchy, TraceOp};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+struct NullBackend;
+
+impl Backend for NullBackend {
+    fn fill(&mut self, now: u64, _line: u64) -> u64 {
+        now + 100
+    }
+
+    fn writeback(&mut self, now: u64, _line: u64) -> u64 {
+        now
+    }
+}
+
+// Internal-consistency properties: hits+misses equals accesses, and a
+// just-accessed line always hits immediately after.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn just_accessed_line_hits(addrs in prop::collection::vec(0u64..(1 << 20), 1..200)) {
+        let mut cache = Cache::new(16 << 10, 4);
+        for addr in addrs {
+            let aligned = addr / 64 * 64;
+            cache.access(aligned, false);
+            assert!(cache.probe(aligned), "line must be present right after access");
+            let again = cache.access(aligned, false);
+            assert!(again.hit);
+        }
+    }
+
+    #[test]
+    fn stats_balance(ops in prop::collection::vec((0u64..(1 << 16), any::<bool>()), 1..300)) {
+        let mut cache = Cache::new(8 << 10, 2);
+        for &(addr, write) in &ops {
+            cache.access(addr / 64 * 64, write);
+        }
+        let s = *cache.stats();
+        prop_assert_eq!(s.hits + s.misses, ops.len() as u64);
+        prop_assert!(s.writebacks <= s.misses, "a writeback needs an eviction");
+    }
+
+    #[test]
+    fn core_cycles_monotone_in_trace_length(n in 1usize..100) {
+        let trace: Vec<TraceOp> = (0..n as u64).map(|i| TraceOp::Read(i * 64)).collect();
+        let mut core = Core::new(CoreParams::paper_default());
+        let mut h = Hierarchy::single_core();
+        let mut b = NullBackend;
+        let cycles_n = core.run(trace.clone(), &mut h, &mut b);
+
+        let mut core2 = Core::new(CoreParams::paper_default());
+        let mut h2 = Hierarchy::single_core();
+        let longer: Vec<TraceOp> =
+            (0..2 * n as u64).map(|i| TraceOp::Read(i * 64)).collect();
+        let cycles_2n = core2.run(longer, &mut h2, &mut b);
+        prop_assert!(cycles_2n >= cycles_n, "{cycles_2n} < {cycles_n}");
+    }
+
+    #[test]
+    fn dirty_evictions_are_unique_lines(writes in prop::collection::vec(0u64..(1 << 14), 1..400)) {
+        // Every dirty eviction must name a line that was actually written
+        // and not currently resident.
+        let mut cache = Cache::new(4 << 10, 2);
+        let mut written = HashSet::new();
+        for addr in writes {
+            let aligned = addr / 64 * 64;
+            written.insert(aligned);
+            if let Some(victim) = cache.access(aligned, true).evicted_dirty {
+                prop_assert!(written.contains(&victim), "evicted {victim} never written");
+                prop_assert!(!cache.probe(victim), "evicted line still present");
+            }
+        }
+    }
+
+    #[test]
+    fn instruction_count_is_exact(ops in prop::collection::vec(0u32..50, 1..100)) {
+        let mut core = Core::new(CoreParams::paper_default());
+        let mut h = Hierarchy::single_core();
+        let mut b = NullBackend;
+        let mut expected = 0u64;
+        for (i, &gap) in ops.iter().enumerate() {
+            core.step(TraceOp::Compute(gap), &mut h, &mut b);
+            core.step(TraceOp::Read(i as u64 * 64), &mut h, &mut b);
+            expected += gap as u64 + 1;
+        }
+        core.finish();
+        prop_assert_eq!(core.stats().instructions, expected);
+    }
+}

@@ -1,0 +1,307 @@
+//! Base-Delta-Immediate compression (Pekhimenko et al., PACT 2012).
+//!
+//! A line is split into fixed-size elements; each element is stored as a
+//! small delta from either a single arbitrary *base* or the *immediate*
+//! zero base (one mask bit per element selects which). Six (base, delta)
+//! geometries are tried — (8,1) (8,2) (8,4) (4,1) (4,2) (2,1) — plus two
+//! degenerate encodings: an all-zero line and a line made of one repeated
+//! 8-byte value. The smallest applicable encoding wins; otherwise the line
+//! is stored raw.
+//!
+//! Layout of a (base, delta) encoding, MSB-first:
+//! 4-bit mode, `8·base` bits of base value, one mask bit per element
+//! (1 = delta from base, 0 = delta from zero), then `8·delta` bits per
+//! element (two's complement).
+
+use crate::bits::{BitReader, BitWriter};
+use crate::{Algorithm, CompressedLine, Compressor, Line, LINE_SIZE};
+
+const MODE_ZERO: u64 = 0;
+const MODE_REPEAT8: u64 = 1;
+const MODE_RAW: u64 = 15;
+
+/// The six (base bytes, delta bytes) geometries in preference order.
+const GEOMETRIES: [(usize, usize, u64); 6] = [
+    (8, 1, 2),
+    (8, 2, 3),
+    (8, 4, 4),
+    (4, 1, 5),
+    (4, 2, 6),
+    (2, 1, 7),
+];
+
+/// The Base-Delta-Immediate algorithm.
+///
+/// See the [module documentation](self) for the encoding layout.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Bdi {
+    _private: (),
+}
+
+impl Bdi {
+    /// Creates a BDI compressor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Compressor for Bdi {
+    fn name(&self) -> &'static str {
+        "BDI"
+    }
+
+    fn compress(&self, line: &Line) -> CompressedLine {
+        if crate::is_zero_line(line) {
+            let mut w = BitWriter::new();
+            w.write(MODE_ZERO, 4);
+            let (bytes, len) = w.into_parts();
+            return CompressedLine::new(Algorithm::Bdi, bytes, len);
+        }
+        if let Some(repeated) = repeated_u64(line) {
+            let mut w = BitWriter::new();
+            w.write(MODE_REPEAT8, 4);
+            w.write(repeated, 64);
+            let (bytes, len) = w.into_parts();
+            return CompressedLine::new(Algorithm::Bdi, bytes, len);
+        }
+        let mut best: Option<CompressedLine> = None;
+        for &(base_size, delta_size, mode) in GEOMETRIES.iter() {
+            if let Some(encoded) = try_geometry(line, base_size, delta_size, mode) {
+                let better = best.as_ref().is_none_or(|b| encoded.bit_len() < b.bit_len());
+                if better {
+                    best = Some(encoded);
+                }
+            }
+        }
+        match best {
+            Some(encoded) if encoded.bit_len() < LINE_SIZE * 8 => encoded,
+            _ => {
+                let mut w = BitWriter::new();
+                w.write(MODE_RAW, 4);
+                for &byte in line.iter() {
+                    w.write(byte as u64, 8);
+                }
+                let (bytes, len) = w.into_parts();
+                CompressedLine::new(Algorithm::Bdi, bytes, len)
+            }
+        }
+    }
+
+    fn decompress(&self, compressed: &CompressedLine) -> Line {
+        assert_eq!(compressed.algorithm(), Algorithm::Bdi, "not a BDI stream");
+        let mut r = BitReader::new(compressed.payload());
+        let mode = r.read(4);
+        match mode {
+            MODE_ZERO => [0u8; LINE_SIZE],
+            MODE_REPEAT8 => {
+                let value = r.read(64);
+                let mut line = [0u8; LINE_SIZE];
+                for chunk in line.chunks_exact_mut(8) {
+                    chunk.copy_from_slice(&value.to_le_bytes());
+                }
+                line
+            }
+            MODE_RAW => {
+                let mut line = [0u8; LINE_SIZE];
+                for byte in line.iter_mut() {
+                    *byte = r.read(8) as u8;
+                }
+                line
+            }
+            _ => {
+                let (base_size, delta_size, _) = GEOMETRIES
+                    .iter()
+                    .find(|&&(_, _, m)| m == mode)
+                    .copied()
+                    .expect("invalid BDI mode");
+                decode_geometry(&mut r, base_size, delta_size)
+            }
+        }
+    }
+}
+
+fn repeated_u64(line: &Line) -> Option<u64> {
+    let first = u64::from_le_bytes(line[..8].try_into().expect("8-byte chunk"));
+    let all_same = line
+        .chunks_exact(8)
+        .all(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")) == first);
+    all_same.then_some(first)
+}
+
+fn element(line: &Line, idx: usize, size: usize) -> i64 {
+    let mut buf = [0u8; 8];
+    buf[..size].copy_from_slice(&line[idx * size..(idx + 1) * size]);
+    // Elements are unsigned payload values; deltas are computed in i128 to
+    // avoid overflow, so plain zero-extension is fine here.
+    i64::from_le_bytes(buf)
+}
+
+fn fits_signed(value: i128, bytes: usize) -> bool {
+    let bits = bytes as u32 * 8;
+    let min = -(1i128 << (bits - 1));
+    let max = (1i128 << (bits - 1)) - 1;
+    (min..=max).contains(&value)
+}
+
+fn try_geometry(line: &Line, base_size: usize, delta_size: usize, mode: u64) -> Option<CompressedLine> {
+    let n = LINE_SIZE / base_size;
+    // The base is the first element that is not representable as a delta
+    // from zero (the canonical BDI choice).
+    let mut base: Option<i64> = None;
+    for i in 0..n {
+        let v = element(line, i, base_size);
+        if !fits_signed(v as i128, delta_size) {
+            base = Some(v);
+            break;
+        }
+    }
+    let base = base.unwrap_or(0);
+
+    let mut mask = Vec::with_capacity(n);
+    let mut deltas = Vec::with_capacity(n);
+    for i in 0..n {
+        let v = element(line, i, base_size) as i128;
+        if fits_signed(v, delta_size) {
+            mask.push(false);
+            deltas.push(v as i64);
+        } else if fits_signed(v - base as i128, delta_size) {
+            mask.push(true);
+            deltas.push((v - base as i128) as i64);
+        } else {
+            return None;
+        }
+    }
+
+    let mut w = BitWriter::new();
+    w.write(mode, 4);
+    w.write(base as u64, base_size * 8);
+    for &m in &mask {
+        w.write_bit(m);
+    }
+    for &d in &deltas {
+        w.write(d as u64, delta_size * 8);
+    }
+    let (bytes, len) = w.into_parts();
+    Some(CompressedLine::new(Algorithm::Bdi, bytes, len))
+}
+
+fn decode_geometry(r: &mut BitReader<'_>, base_size: usize, delta_size: usize) -> Line {
+    let n = LINE_SIZE / base_size;
+    let base_raw = r.read(base_size * 8);
+    let mut mask = Vec::with_capacity(n);
+    for _ in 0..n {
+        mask.push(r.read_bit());
+    }
+    let mut line = [0u8; LINE_SIZE];
+    for (i, &from_base) in mask.iter().enumerate() {
+        let raw = r.read(delta_size * 8);
+        // Sign-extend the delta.
+        let shift = 64 - delta_size as u32 * 8;
+        let delta = ((raw << shift) as i64) >> shift;
+        let value = if from_base {
+            (base_raw as i64).wrapping_add(delta) as u64
+        } else {
+            delta as u64
+        };
+        let bytes = value.to_le_bytes();
+        line[i * base_size..(i + 1) * base_size].copy_from_slice(&bytes[..base_size]);
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(line: &Line) -> usize {
+        let bdi = Bdi::new();
+        let c = bdi.compress(line);
+        assert_eq!(&bdi.decompress(&c), line, "BDI roundtrip failed");
+        c.size_bytes()
+    }
+
+    #[test]
+    fn zero_line_is_one_byte() {
+        assert_eq!(roundtrip(&[0u8; LINE_SIZE]), 1);
+    }
+
+    #[test]
+    fn repeated_u64_is_nine_bytes() {
+        let mut line = [0u8; LINE_SIZE];
+        for chunk in line.chunks_exact_mut(8) {
+            chunk.copy_from_slice(&0xDEAD_BEEF_CAFE_F00Du64.to_le_bytes());
+        }
+        assert_eq!(roundtrip(&line), 9); // 4-bit mode + 64-bit value
+    }
+
+    #[test]
+    fn base8_delta1_near_pointers() {
+        // Eight 64-bit values near a common heap base: classic BDI input.
+        let mut line = [0u8; LINE_SIZE];
+        for (i, chunk) in line.chunks_exact_mut(8).enumerate() {
+            let v: u64 = 0x7F80_1234_5600 + (i as u64 * 16);
+            chunk.copy_from_slice(&v.to_le_bytes());
+        }
+        // mode(4) + base(64) + mask(8) + 8×8 deltas = 140 bits = 18 bytes
+        let size = roundtrip(&line);
+        assert!(size <= 18, "base8-delta1 should be <=18B, got {size}");
+    }
+
+    #[test]
+    fn small_ints_use_zero_base() {
+        // Small 32-bit integers: delta-from-zero covers every element.
+        let mut line = [0u8; LINE_SIZE];
+        for (i, chunk) in line.chunks_exact_mut(4).enumerate() {
+            chunk.copy_from_slice(&(i as u32 * 3).to_le_bytes());
+        }
+        let size = roundtrip(&line);
+        assert!(size <= 24, "small ints should compress well, got {size}");
+    }
+
+    #[test]
+    fn random_line_is_raw() {
+        let mut line = [0u8; LINE_SIZE];
+        let mut state = 0x243F6A8885A308D3u64;
+        for byte in line.iter_mut() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            *byte = (state >> 56) as u8;
+        }
+        assert_eq!(roundtrip(&line), LINE_SIZE);
+    }
+
+    #[test]
+    fn mixed_base_and_zero_elements() {
+        // Alternating zeros and large near-base values forces the
+        // immediate mask to matter.
+        let mut line = [0u8; LINE_SIZE];
+        for (i, chunk) in line.chunks_exact_mut(8).enumerate() {
+            let v: u64 = if i % 2 == 0 { 0 } else { 0x5555_0000_0000 + i as u64 };
+            chunk.copy_from_slice(&v.to_le_bytes());
+        }
+        let size = roundtrip(&line);
+        assert!(size < LINE_SIZE, "mixed line should compress, got {size}");
+    }
+
+    #[test]
+    fn negative_deltas_roundtrip() {
+        let mut line = [0u8; LINE_SIZE];
+        for (i, chunk) in line.chunks_exact_mut(8).enumerate() {
+            let v: i64 = 0x10_0000_0000 - (i as i64 * 7);
+            chunk.copy_from_slice(&v.to_le_bytes());
+        }
+        roundtrip(&line);
+    }
+
+    #[test]
+    fn boundary_delta_values() {
+        // Deltas exactly at the i8 boundary for base8-delta1.
+        let mut line = [0u8; LINE_SIZE];
+        let base: u64 = 0x4000_0000_0000;
+        let offsets: [i64; 8] = [0, 127, -128, 1, -1, 64, -64, 127];
+        for (i, chunk) in line.chunks_exact_mut(8).enumerate() {
+            let v = (base as i64 + offsets[i]) as u64;
+            chunk.copy_from_slice(&v.to_le_bytes());
+        }
+        roundtrip(&line);
+    }
+}

@@ -1,0 +1,148 @@
+//! Bit-granular writers and readers used by the encoders.
+//!
+//! Bits are written MSB-first within each byte, matching how a hardware
+//! shifter would serialize a code stream.
+
+/// Appends bit fields to a growing byte buffer, MSB-first.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    bit_len: usize,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.bit_len
+    }
+
+    /// Writes the low `width` bits of `value`, most significant bit first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64`.
+    pub fn write(&mut self, value: u64, width: usize) {
+        assert!(width <= 64, "bit field wider than 64 bits");
+        for i in (0..width).rev() {
+            let bit = (value >> i) & 1;
+            let byte_idx = self.bit_len / 8;
+            if byte_idx == self.bytes.len() {
+                self.bytes.push(0);
+            }
+            if bit == 1 {
+                self.bytes[byte_idx] |= 1 << (7 - (self.bit_len % 8));
+            }
+            self.bit_len += 1;
+        }
+    }
+
+    /// Writes a single bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        self.write(bit as u64, 1);
+    }
+
+    /// Consumes the writer, returning the backing bytes and exact bit length.
+    pub fn into_parts(self) -> (Vec<u8>, usize) {
+        (self.bytes, self.bit_len)
+    }
+}
+
+/// Reads bit fields from a byte buffer, MSB-first (inverse of [`BitWriter`]).
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes` starting at bit 0.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Current bit position.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Reads `width` bits, most significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the read runs past the end of the buffer or `width > 64`.
+    pub fn read(&mut self, width: usize) -> u64 {
+        assert!(width <= 64, "bit field wider than 64 bits");
+        let mut value = 0u64;
+        for _ in 0..width {
+            let byte_idx = self.pos / 8;
+            assert!(byte_idx < self.bytes.len(), "bit read past end of stream");
+            let bit = (self.bytes[byte_idx] >> (7 - (self.pos % 8))) & 1;
+            value = (value << 1) | bit as u64;
+            self.pos += 1;
+        }
+        value
+    }
+
+    /// Reads a single bit.
+    pub fn read_bit(&mut self) -> bool {
+        self.read(1) == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_widths() {
+        let mut w = BitWriter::new();
+        w.write(0b101, 3);
+        w.write(0xDEAD, 16);
+        w.write_bit(true);
+        w.write(7, 5);
+        let (bytes, len) = w.into_parts();
+        assert_eq!(len, 3 + 16 + 1 + 5);
+
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read(3), 0b101);
+        assert_eq!(r.read(16), 0xDEAD);
+        assert!(r.read_bit());
+        assert_eq!(r.read(5), 7);
+        assert_eq!(r.position(), len);
+    }
+
+    #[test]
+    fn zero_width_reads_and_writes() {
+        let mut w = BitWriter::new();
+        w.write(0, 0);
+        assert_eq!(w.bit_len(), 0);
+        let (bytes, _) = w.into_parts();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read(0), 0);
+    }
+
+    #[test]
+    fn sixty_four_bit_field() {
+        let mut w = BitWriter::new();
+        w.write(u64::MAX, 64);
+        w.write(0, 2);
+        let (bytes, len) = w.into_parts();
+        assert_eq!(len, 66);
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read(64), u64::MAX);
+        assert_eq!(r.read(2), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "past end")]
+    fn read_past_end_panics() {
+        let bytes = [0u8; 1];
+        let mut r = BitReader::new(&bytes);
+        r.read(9);
+    }
+}

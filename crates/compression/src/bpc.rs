@@ -1,0 +1,427 @@
+//! Bit-Plane Compression (BPC), adapted for 64 B CPU cache lines.
+//!
+//! The original BPC (Kim et al., ISCA 2016) compresses 128 B GPU blocks of
+//! 32-bit words, producing 33 bit-planes of 31 bits each after its
+//! Delta-BitPlane-XOR (DBX) transform. Compresso (§II-A) adapts it to 64 B
+//! CPU lines. We keep the original plane width by treating the line as
+//! **32 16-bit symbols**: 31 deltas of 17 bits transpose into **17
+//! bit-planes of 31 bits** — matching the "17 bit-planes" the Compresso
+//! paper's latency model processes (§VI-D).
+//!
+//! The paper further observes that always applying the transform is
+//! suboptimal and adds a unit that compresses **with and without the
+//! transform in parallel**, keeping the smaller encoding (worth an average
+//! 13% extra memory savings). [`Bpc::compress`] implements exactly that
+//! race: a 2-bit mode header selects zero-line / transformed /
+//! untransformed-bit-plane / raw.
+//!
+//! # Code table
+//!
+//! Each (31-bit or 32-bit) plane is encoded with a prefix-free code:
+//!
+//! | code              | meaning                                  |
+//! |-------------------|------------------------------------------|
+//! | `01`  + 5 bits    | run of 1–32 all-zero planes (len − 1)    |
+//! | `001`             | all-ones plane                           |
+//! | `0001` + 5 bits   | plane with a single 1 at position *p*    |
+//! | `00001` + 5 bits  | plane with two consecutive 1s at *p*,*p+1* |
+//! | `1`   + plane-width raw bits | verbatim plane                |
+
+use crate::bits::{BitReader, BitWriter};
+use crate::{Algorithm, CompressedLine, Compressor, Line, LINE_SIZE};
+
+const SYMBOLS: usize = 32; // 16-bit symbols per line
+const DELTAS: usize = SYMBOLS - 1; // 31
+const DELTA_BITS: usize = 17; // 16-bit difference needs 17 bits
+const DATA_PLANES: usize = 16; // untransformed mode: 16 planes of 32 bits
+
+const MODE_ZERO: u64 = 0b00;
+const MODE_TRANSFORMED: u64 = 0b01;
+const MODE_BITPLANE: u64 = 0b10;
+const MODE_RAW: u64 = 0b11;
+
+/// Latency of the BPC compression/decompression unit in core cycles
+/// (Tab. III: 8 cycles DDR4 buffering + 2 cycles for 17 bit-planes + 2
+/// cycles concatenation).
+pub const BPC_LATENCY_CYCLES: u64 = 12;
+
+/// The Bit-Plane Compression algorithm with Compresso's modifications.
+///
+/// See the [module documentation](self) for the exact encoding.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Bpc {
+    _private: (),
+}
+
+impl Bpc {
+    /// Creates a BPC compressor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compresses using only the DBX transform (no untransformed race).
+    ///
+    /// This is "baseline BPC" — used to quantify the paper's claim that the
+    /// best-of-both modification saves an average 13% more memory.
+    pub fn compress_transform_only(&self, line: &Line) -> CompressedLine {
+        if crate::is_zero_line(line) {
+            let mut w = BitWriter::new();
+            w.write(MODE_ZERO, 2);
+            let (bytes, len) = w.into_parts();
+            return CompressedLine::new(Algorithm::Bpc, bytes, len);
+        }
+        let transformed = encode_transformed(line);
+        if transformed.bit_len() >= LINE_SIZE * 8 {
+            encode_raw(line)
+        } else {
+            transformed
+        }
+    }
+}
+
+impl Compressor for Bpc {
+    fn name(&self) -> &'static str {
+        "BPC"
+    }
+
+    fn compress(&self, line: &Line) -> CompressedLine {
+        if crate::is_zero_line(line) {
+            let mut w = BitWriter::new();
+            w.write(MODE_ZERO, 2);
+            let (bytes, len) = w.into_parts();
+            return CompressedLine::new(Algorithm::Bpc, bytes, len);
+        }
+        // The paper's modification: race the transform against a direct
+        // bit-plane encoding and keep the smaller result.
+        let transformed = encode_transformed(line);
+        let plain = encode_bitplane(line);
+        let best = if transformed.bit_len() <= plain.bit_len() { transformed } else { plain };
+        if best.bit_len() >= LINE_SIZE * 8 {
+            encode_raw(line)
+        } else {
+            best
+        }
+    }
+
+    fn decompress(&self, compressed: &CompressedLine) -> Line {
+        assert_eq!(compressed.algorithm(), Algorithm::Bpc, "not a BPC stream");
+        let mut r = BitReader::new(compressed.payload());
+        match r.read(2) {
+            MODE_ZERO => [0u8; LINE_SIZE],
+            MODE_TRANSFORMED => decode_transformed(&mut r),
+            MODE_BITPLANE => decode_bitplane(&mut r),
+            MODE_RAW => {
+                let mut line = [0u8; LINE_SIZE];
+                for byte in line.iter_mut() {
+                    *byte = r.read(8) as u8;
+                }
+                line
+            }
+            _ => unreachable!("2-bit mode"),
+        }
+    }
+}
+
+fn symbols(line: &Line) -> [u16; SYMBOLS] {
+    let mut syms = [0u16; SYMBOLS];
+    for (i, chunk) in line.chunks_exact(2).enumerate() {
+        syms[i] = u16::from_le_bytes([chunk[0], chunk[1]]);
+    }
+    syms
+}
+
+fn line_from_symbols(syms: &[u16; SYMBOLS]) -> Line {
+    let mut line = [0u8; LINE_SIZE];
+    for (i, sym) in syms.iter().enumerate() {
+        line[2 * i..2 * i + 2].copy_from_slice(&sym.to_le_bytes());
+    }
+    line
+}
+
+/// Transposes the 31 17-bit deltas into 17 planes of 31 bits
+/// (plane index 0 = delta bit 16, the MSB).
+fn delta_planes(deltas: &[i32; DELTAS]) -> [u32; DELTA_BITS] {
+    let mut planes = [0u32; DELTA_BITS];
+    for (j, &delta) in deltas.iter().enumerate() {
+        let bits = (delta as u32) & 0x1_FFFF; // 17-bit two's complement
+        for (b, plane) in planes.iter_mut().enumerate() {
+            let bit = (bits >> (DELTA_BITS - 1 - b)) & 1;
+            *plane |= bit << j;
+        }
+    }
+    planes
+}
+
+fn encode_transformed(line: &Line) -> CompressedLine {
+    let syms = symbols(line);
+    let base = syms[0];
+    let mut deltas = [0i32; DELTAS];
+    for i in 0..DELTAS {
+        deltas[i] = syms[i + 1] as i32 - syms[i] as i32;
+    }
+    let planes = delta_planes(&deltas);
+    // DBX: XOR each plane with the next (toward the LSB plane); the last
+    // plane is emitted as-is.
+    let mut dbx = [0u32; DELTA_BITS];
+    for b in 0..DELTA_BITS {
+        dbx[b] = if b + 1 < DELTA_BITS { planes[b] ^ planes[b + 1] } else { planes[b] };
+    }
+
+    let mut w = BitWriter::new();
+    w.write(MODE_TRANSFORMED, 2);
+    if base == 0 {
+        w.write_bit(false);
+    } else {
+        w.write_bit(true);
+        w.write(base as u64, 16);
+    }
+    encode_planes(&mut w, &dbx, DELTAS);
+    let (bytes, len) = w.into_parts();
+    CompressedLine::new(Algorithm::Bpc, bytes, len)
+}
+
+fn decode_transformed(r: &mut BitReader<'_>) -> Line {
+    let base = if r.read_bit() { r.read(16) as u16 } else { 0 };
+    let mut dbx = [0u32; DELTA_BITS];
+    decode_planes(r, &mut dbx, DELTAS);
+    // Undo DBX from the LSB plane upward.
+    let mut planes = [0u32; DELTA_BITS];
+    planes[DELTA_BITS - 1] = dbx[DELTA_BITS - 1];
+    for b in (0..DELTA_BITS - 1).rev() {
+        planes[b] = dbx[b] ^ planes[b + 1];
+    }
+    // Transpose back into deltas.
+    let mut syms = [0u16; SYMBOLS];
+    syms[0] = base;
+    for j in 0..DELTAS {
+        let mut bits = 0u32;
+        for (b, plane) in planes.iter().enumerate() {
+            bits |= ((plane >> j) & 1) << (DELTA_BITS - 1 - b);
+        }
+        // Sign-extend the 17-bit delta.
+        let delta = ((bits << 15) as i32) >> 15;
+        syms[j + 1] = (syms[j] as i32 + delta) as u16;
+    }
+    line_from_symbols(&syms)
+}
+
+/// Untransformed mode: the 32 symbols' 16 bit-planes (32 bits wide each)
+/// encoded directly with the same pattern table.
+fn encode_bitplane(line: &Line) -> CompressedLine {
+    let syms = symbols(line);
+    let mut planes = [0u32; DATA_PLANES];
+    for (j, &sym) in syms.iter().enumerate() {
+        for (b, plane) in planes.iter_mut().enumerate() {
+            let bit = ((sym as u32) >> (DATA_PLANES - 1 - b)) & 1;
+            *plane |= bit << j;
+        }
+    }
+    let mut w = BitWriter::new();
+    w.write(MODE_BITPLANE, 2);
+    encode_planes(&mut w, &planes, SYMBOLS);
+    let (bytes, len) = w.into_parts();
+    CompressedLine::new(Algorithm::Bpc, bytes, len)
+}
+
+fn decode_bitplane(r: &mut BitReader<'_>) -> Line {
+    let mut planes = [0u32; DATA_PLANES];
+    decode_planes(r, &mut planes, SYMBOLS);
+    let mut syms = [0u16; SYMBOLS];
+    for (j, sym) in syms.iter_mut().enumerate() {
+        let mut bits = 0u32;
+        for (b, plane) in planes.iter().enumerate() {
+            bits |= ((plane >> j) & 1) << (DATA_PLANES - 1 - b);
+        }
+        *sym = bits as u16;
+    }
+    line_from_symbols(&syms)
+}
+
+fn encode_raw(line: &Line) -> CompressedLine {
+    let mut w = BitWriter::new();
+    w.write(MODE_RAW, 2);
+    for &byte in line.iter() {
+        w.write(byte as u64, 8);
+    }
+    let (bytes, len) = w.into_parts();
+    CompressedLine::new(Algorithm::Bpc, bytes, len)
+}
+
+/// Encodes `planes` (each `width` bits wide) with the pattern code table,
+/// run-length-collapsing consecutive all-zero planes.
+fn encode_planes(w: &mut BitWriter, planes: &[u32], width: usize) {
+    let ones_mask: u32 = if width == 32 { u32::MAX } else { (1 << width) - 1 };
+    let mut i = 0;
+    while i < planes.len() {
+        let plane = planes[i] & ones_mask;
+        if plane == 0 {
+            let mut run = 1;
+            while i + run < planes.len() && planes[i + run] & ones_mask == 0 && run < 32 {
+                run += 1;
+            }
+            w.write(0b01, 2);
+            w.write(run as u64 - 1, 5);
+            i += run;
+            continue;
+        }
+        if plane == ones_mask {
+            w.write(0b001, 3);
+        } else if plane.count_ones() == 1 {
+            w.write(0b0001, 4);
+            w.write(plane.trailing_zeros() as u64, 5);
+        } else if plane.count_ones() == 2 && is_two_consecutive(plane) {
+            w.write(0b00001, 5);
+            w.write(plane.trailing_zeros() as u64, 5);
+        } else {
+            w.write(0b1, 1);
+            w.write(plane as u64, width);
+        }
+        i += 1;
+    }
+}
+
+fn is_two_consecutive(plane: u32) -> bool {
+    let p = plane >> plane.trailing_zeros();
+    p == 0b11
+}
+
+fn decode_planes(r: &mut BitReader<'_>, planes: &mut [u32], width: usize) {
+    let ones_mask: u32 = if width == 32 { u32::MAX } else { (1 << width) - 1 };
+    let mut i = 0;
+    while i < planes.len() {
+        if r.read_bit() {
+            planes[i] = r.read(width) as u32;
+            i += 1;
+        } else if r.read_bit() {
+            let run = r.read(5) as usize + 1;
+            for _ in 0..run {
+                planes[i] = 0;
+                i += 1;
+            }
+        } else if r.read_bit() {
+            planes[i] = ones_mask;
+            i += 1;
+        } else if r.read_bit() {
+            let pos = r.read(5);
+            planes[i] = 1 << pos;
+            i += 1;
+        } else {
+            let decoded = r.read_bit();
+            assert!(decoded, "invalid BPC plane code");
+            let pos = r.read(5);
+            planes[i] = 0b11 << pos;
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(line: &Line) -> usize {
+        let bpc = Bpc::new();
+        let c = bpc.compress(line);
+        assert_eq!(&bpc.decompress(&c), line, "BPC roundtrip failed");
+        c.size_bytes()
+    }
+
+    #[test]
+    fn zero_line_compresses_to_one_byte() {
+        assert_eq!(roundtrip(&[0u8; LINE_SIZE]), 1);
+    }
+
+    #[test]
+    fn arithmetic_u16_sequence_is_tiny() {
+        let mut line = [0u8; LINE_SIZE];
+        for (i, chunk) in line.chunks_exact_mut(2).enumerate() {
+            chunk.copy_from_slice(&(1000 + 7 * i as u16).to_le_bytes());
+        }
+        let size = roundtrip(&line);
+        assert!(size <= 8, "arithmetic sequence should be <=8B, got {size}");
+    }
+
+    #[test]
+    fn constant_line_is_tiny() {
+        let mut line = [0u8; LINE_SIZE];
+        for chunk in line.chunks_exact_mut(2) {
+            chunk.copy_from_slice(&0x1234u16.to_le_bytes());
+        }
+        let size = roundtrip(&line);
+        assert!(size <= 8, "constant line should be <=8B, got {size}");
+    }
+
+    #[test]
+    fn random_line_falls_back_to_raw() {
+        // A fixed high-entropy pattern; BPC cannot beat 64 B so the raw
+        // mode must round-trip.
+        let mut line = [0u8; LINE_SIZE];
+        let mut state = 0x9E3779B97F4A7C15u64;
+        for byte in line.iter_mut() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *byte = (state >> 33) as u8;
+        }
+        assert_eq!(roundtrip(&line), LINE_SIZE);
+    }
+
+    #[test]
+    fn low_byte_counter_pattern() {
+        // Pointer-like data: identical upper bytes, counting lower bytes.
+        let mut line = [0u8; LINE_SIZE];
+        for (i, chunk) in line.chunks_exact_mut(8).enumerate() {
+            let v: u64 = 0x7FFF_AB00_0000_0000 | (i as u64 * 64);
+            chunk.copy_from_slice(&v.to_le_bytes());
+        }
+        // Wide symbol swings (lo-word, zero, 0xAB00, 0x7FFF, ...) limit
+        // BPC here; it still beats raw storage.
+        let size = roundtrip(&line);
+        assert!(size < LINE_SIZE, "pointer array should beat raw, got {size}");
+    }
+
+    #[test]
+    fn best_of_transform_never_worse_than_transform_only() {
+        let bpc = Bpc::new();
+        let mut cases: Vec<Line> = Vec::new();
+        // Alternating pattern (hostile to deltas, fine for raw planes).
+        let mut alt = [0u8; LINE_SIZE];
+        for (i, chunk) in alt.chunks_exact_mut(2).enumerate() {
+            let v: u16 = if i % 2 == 0 { 0x00FF } else { 0xFF00 };
+            chunk.copy_from_slice(&v.to_le_bytes());
+        }
+        cases.push(alt);
+        cases.push([0x55u8; LINE_SIZE]);
+        for line in &cases {
+            let best = bpc.compress(line).size_bytes();
+            let only = bpc.compress_transform_only(line).size_bytes();
+            assert!(best <= only, "best-of must never lose: {best} vs {only}");
+            assert_eq!(&bpc.decompress(&bpc.compress(line)), line);
+        }
+    }
+
+    #[test]
+    fn single_bit_set_delta_planes() {
+        // One nonzero symbol in an otherwise zero line exercises the
+        // single-one and two-consecutive-ones plane codes.
+        for pos in [0usize, 1, 15, 16, 30, 31] {
+            let mut line = [0u8; LINE_SIZE];
+            line[2 * pos] = 0x80;
+            roundtrip(&line);
+        }
+    }
+
+    #[test]
+    fn extreme_deltas_roundtrip() {
+        // Max positive and negative symbol swings stress the 17-bit delta.
+        let mut line = [0u8; LINE_SIZE];
+        for (i, chunk) in line.chunks_exact_mut(2).enumerate() {
+            let v: u16 = if i % 2 == 0 { 0x0000 } else { 0xFFFF };
+            chunk.copy_from_slice(&v.to_le_bytes());
+        }
+        roundtrip(&line);
+    }
+
+    #[test]
+    fn latency_constant_matches_paper() {
+        assert_eq!(BPC_LATENCY_CYCLES, 12);
+    }
+}

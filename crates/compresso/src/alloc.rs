@@ -1,0 +1,246 @@
+//! MPA space allocators (§II-D).
+//!
+//! Compresso allocates compressed pages incrementally in 512 B chunks
+//! ([`ChunkAllocator`]); the comparison scheme allocates variable-sized
+//! chunks of 4 sizes ([`BuddyAllocator`], a binary buddy over 4 KB
+//! blocks, which is how a real controller would avoid unbounded
+//! fragmentation).
+
+use crate::metadata::CHUNK_BYTES;
+
+/// Error returned when the machine physical space is exhausted — the
+/// trigger for ballooning (§V-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfMpaSpace;
+
+impl std::fmt::Display for OutOfMpaSpace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("machine physical address space exhausted")
+    }
+}
+
+impl std::error::Error for OutOfMpaSpace {}
+
+/// Fixed 512 B chunk allocator (Compresso's scheme: trivial to manage,
+/// 8 page sizes via 1–8 chunks).
+#[derive(Debug, Clone)]
+pub struct ChunkAllocator {
+    free: Vec<u32>,
+    total: u32,
+}
+
+impl ChunkAllocator {
+    /// Creates an allocator over `capacity_bytes` of MPA space.
+    pub fn new(capacity_bytes: u64) -> Self {
+        let total = (capacity_bytes / CHUNK_BYTES as u64) as u32;
+        // Free list kept so that low chunk ids are handed out first.
+        let free = (0..total).rev().collect();
+        Self { free, total }
+    }
+
+    /// Allocates one chunk, returning its frame number.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfMpaSpace`] when no chunks remain.
+    pub fn alloc(&mut self) -> Result<u32, OutOfMpaSpace> {
+        self.free.pop().ok_or(OutOfMpaSpace)
+    }
+
+    /// Frees a chunk.
+    pub fn free(&mut self, chunk: u32) {
+        debug_assert!(chunk < self.total);
+        self.free.push(chunk);
+    }
+
+    /// Chunks currently allocated.
+    pub fn used_chunks(&self) -> u32 {
+        self.total - self.free.len() as u32
+    }
+
+    /// Bytes currently allocated.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_chunks() as u64 * CHUNK_BYTES as u64
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.total as u64 * CHUNK_BYTES as u64
+    }
+
+    /// The MPA byte address of a chunk.
+    pub fn chunk_addr(chunk: u32) -> u64 {
+        chunk as u64 * CHUNK_BYTES as u64
+    }
+}
+
+/// Binary buddy allocator over 4 KB blocks offering the 4 variable sizes
+/// {512 B, 1 KB, 2 KB, 4 KB}.
+#[derive(Debug, Clone)]
+pub struct BuddyAllocator {
+    /// Free lists by order: order 0 = 512 B … order 3 = 4 KB.
+    free: [Vec<u64>; 4],
+    capacity: u64,
+    used: u64,
+}
+
+impl BuddyAllocator {
+    /// Creates a buddy allocator over `capacity_bytes` (rounded down to
+    /// 4 KB).
+    pub fn new(capacity_bytes: u64) -> Self {
+        let blocks = capacity_bytes / 4096;
+        let mut free: [Vec<u64>; 4] = Default::default();
+        free[3] = (0..blocks).rev().map(|b| b * 4096).collect();
+        Self { free, capacity: blocks * 4096, used: 0 }
+    }
+
+    fn order_of(bytes: u32) -> usize {
+        match bytes {
+            512 => 0,
+            1024 => 1,
+            2048 => 2,
+            4096 => 3,
+            _ => panic!("buddy allocator supports 512/1024/2048/4096, got {bytes}"),
+        }
+    }
+
+    fn order_bytes(order: usize) -> u64 {
+        512u64 << order
+    }
+
+    /// Allocates a block of `bytes` (one of the 4 sizes), returning its
+    /// MPA address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfMpaSpace`] if no block (or splittable parent) is
+    /// available.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not one of the four supported sizes.
+    pub fn alloc(&mut self, bytes: u32) -> Result<u64, OutOfMpaSpace> {
+        let want = Self::order_of(bytes);
+        let mut order = want;
+        while order < 4 && self.free[order].is_empty() {
+            order += 1;
+        }
+        if order == 4 {
+            return Err(OutOfMpaSpace);
+        }
+        let addr = self.free[order].pop().expect("free list checked nonempty");
+        // Split down to the wanted order, pushing buddies.
+        while order > want {
+            order -= 1;
+            let buddy = addr + Self::order_bytes(order);
+            self.free[order].push(buddy);
+        }
+        self.used += Self::order_bytes(want);
+        Ok(addr)
+    }
+
+    /// Frees a block previously allocated with `bytes` size, coalescing
+    /// buddies where possible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not one of the four supported sizes.
+    pub fn free(&mut self, addr: u64, bytes: u32) {
+        let mut order = Self::order_of(bytes);
+        self.used -= Self::order_bytes(order);
+        let mut addr = addr;
+        while order < 3 {
+            let buddy = addr ^ Self::order_bytes(order);
+            if let Some(pos) = self.free[order].iter().position(|&a| a == buddy) {
+                self.free[order].swap_remove(pos);
+                addr = addr.min(buddy);
+                order += 1;
+            } else {
+                break;
+            }
+        }
+        self.free[order].push(addr);
+    }
+
+    /// Bytes currently allocated.
+    pub fn used_bytes(&self) -> u64 {
+        self.used
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_alloc_free_roundtrip() {
+        let mut a = ChunkAllocator::new(8 * 512);
+        let c1 = a.alloc().unwrap();
+        let c2 = a.alloc().unwrap();
+        assert_ne!(c1, c2);
+        assert_eq!(a.used_chunks(), 2);
+        a.free(c1);
+        assert_eq!(a.used_chunks(), 1);
+        assert_eq!(a.used_bytes(), 512);
+    }
+
+    #[test]
+    fn chunk_exhaustion() {
+        let mut a = ChunkAllocator::new(2 * 512);
+        a.alloc().unwrap();
+        a.alloc().unwrap();
+        assert_eq!(a.alloc(), Err(OutOfMpaSpace));
+        a.free(0);
+        assert!(a.alloc().is_ok());
+    }
+
+    #[test]
+    fn chunk_addresses() {
+        assert_eq!(ChunkAllocator::chunk_addr(0), 0);
+        assert_eq!(ChunkAllocator::chunk_addr(3), 1536);
+    }
+
+    #[test]
+    fn buddy_splits_and_coalesces() {
+        let mut b = BuddyAllocator::new(4096);
+        let a1 = b.alloc(512).unwrap();
+        let a2 = b.alloc(512).unwrap();
+        assert_eq!(b.used_bytes(), 1024);
+        assert_ne!(a1, a2);
+        b.free(a1, 512);
+        b.free(a2, 512);
+        assert_eq!(b.used_bytes(), 0);
+        // After coalescing a full 4 KB block must be available again.
+        assert!(b.alloc(4096).is_ok());
+    }
+
+    #[test]
+    fn buddy_exhaustion_and_fragmentation() {
+        let mut b = BuddyAllocator::new(4096);
+        let a = b.alloc(512).unwrap();
+        // A 4 KB block is no longer available (fragmented).
+        assert_eq!(b.alloc(4096), Err(OutOfMpaSpace));
+        // But a 2 KB one is.
+        assert!(b.alloc(2048).is_ok());
+        b.free(a, 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "supports 512/1024/2048/4096")]
+    fn buddy_rejects_odd_sizes() {
+        let mut b = BuddyAllocator::new(4096);
+        let _ = b.alloc(1536);
+    }
+
+    #[test]
+    fn deterministic_chunk_order() {
+        let mut a = ChunkAllocator::new(4 * 512);
+        assert_eq!(a.alloc().unwrap(), 0);
+        assert_eq!(a.alloc().unwrap(), 1);
+    }
+}

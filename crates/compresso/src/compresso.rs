@@ -1,0 +1,742 @@
+//! The Compresso device: OS-transparent compressed main memory with all
+//! five data-movement optimizations (§III–§V).
+
+use crate::alloc::{BuddyAllocator, ChunkAllocator};
+use crate::config::{CompressoConfig, PageAllocation};
+use crate::device::MemoryDevice;
+use crate::metadata::{LineLocation, PageMeta, CHUNK_BYTES, LINES_PER_PAGE, PAGE_BYTES};
+use crate::mcache::MetadataCache;
+use crate::predictor::OverflowPredictor;
+use crate::stats::DeviceStats;
+use compresso_cache_sim::Backend;
+use compresso_compression::{Bdi, Bpc, Compressor, Fpc, Line};
+use compresso_mem_sim::{MainMemory, MemConfig, MemStats};
+use compresso_workloads::LineSource;
+use std::collections::{HashMap, VecDeque};
+
+/// MPA region where metadata entries live (outside the chunk space).
+const METADATA_BASE: u64 = 1 << 40;
+/// Free-prefetch buffer depth (compressed 64 B bursts kept by the
+/// controller; a fill whose bytes are already buffered needs no DRAM).
+const PREFETCH_BUFFER: usize = 16;
+
+/// The line compressor a device uses.
+#[derive(Debug, Clone, Copy)]
+pub enum Codec {
+    /// Modified Bit-Plane Compression (Compresso's default).
+    Bpc(Bpc),
+    /// Base-Delta-Immediate (for the Fig. 2 comparison).
+    Bdi(Bdi),
+    /// Frequent Pattern Compression.
+    Fpc(Fpc),
+}
+
+impl Codec {
+    /// The default modified-BPC codec.
+    pub fn bpc() -> Self {
+        Codec::Bpc(Bpc::new())
+    }
+
+    /// A BDI codec.
+    pub fn bdi() -> Self {
+        Codec::Bdi(Bdi::new())
+    }
+
+    /// Compressed size in bytes of `line`.
+    pub fn compressed_size(&self, line: &Line) -> usize {
+        match self {
+            Codec::Bpc(c) => c.compressed_size(line),
+            Codec::Bdi(c) => c.compressed_size(line),
+            Codec::Fpc(c) => c.compressed_size(line),
+        }
+    }
+}
+
+enum Allocator {
+    Chunks(ChunkAllocator),
+    Buddy(BuddyAllocator),
+}
+
+/// Compresso: compressed main memory implemented entirely in the memory
+/// controller (see crate docs).
+pub struct CompressoDevice {
+    cfg: CompressoConfig,
+    codec: Codec,
+    world: Box<dyn LineSource>,
+    mem: MainMemory,
+    mcache: MetadataCache,
+    pages: HashMap<u64, PageMeta>,
+    alloc: Allocator,
+    /// Buddy base address per page (Variable4 only).
+    buddy_base: HashMap<u64, u64>,
+    predictor: OverflowPredictor,
+    size_cache: HashMap<(u64, u64), u8>,
+    prefetch: VecDeque<(u64, u32)>,
+    stats: DeviceStats,
+}
+
+impl std::fmt::Debug for CompressoDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompressoDevice")
+            .field("pages", &self.pages.len())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CompressoDevice {
+    /// Creates a Compresso device over `world` with `config`.
+    pub fn new(config: CompressoConfig, world: impl LineSource + 'static) -> Self {
+        Self::with_codec(config, world, Codec::bpc())
+    }
+
+    /// As [`CompressoDevice::new`] with an explicit codec.
+    pub fn with_codec(
+        config: CompressoConfig,
+        world: impl LineSource + 'static,
+        codec: Codec,
+    ) -> Self {
+        let alloc = match config.allocation {
+            PageAllocation::Chunks512 => Allocator::Chunks(ChunkAllocator::new(config.mpa_capacity)),
+            PageAllocation::Variable4 => Allocator::Buddy(BuddyAllocator::new(config.mpa_capacity)),
+        };
+        Self {
+            mcache: MetadataCache::paper_default(config.mcache_half_entries),
+            mem: MainMemory::new(MemConfig::ddr4_2666()),
+            cfg: config,
+            codec,
+            world: Box::new(world),
+            pages: HashMap::new(),
+            alloc,
+            buddy_base: HashMap::new(),
+            predictor: OverflowPredictor::new(),
+            size_cache: HashMap::new(),
+            prefetch: VecDeque::new(),
+            stats: DeviceStats::default(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CompressoConfig {
+        &self.cfg
+    }
+
+    /// The data world (e.g. to inspect versions in tests).
+    pub fn world(&self) -> &dyn LineSource {
+        self.world.as_ref()
+    }
+
+    /// MPA bytes currently allocated to one OSPA page (excluding its
+    /// 64 B metadata entry); `None` if untouched.
+    pub fn page_allocated_bytes(&self, page: u64) -> Option<u32> {
+        self.pages.get(&page).map(|m| m.page_bytes)
+    }
+
+    /// Fraction of MPA capacity in use — the ballooning trigger (§V-B).
+    pub fn mpa_pressure(&self) -> f64 {
+        self.mpa_used_bytes() as f64 / self.cfg.mpa_capacity as f64
+    }
+
+    /// Invalidates an OSPA page, releasing its MPA storage. This is the
+    /// hardware half of ballooning: the Compresso driver hands freed page
+    /// numbers to the controller, which drops them from metadata.
+    pub fn invalidate_page(&mut self, page: u64) {
+        if let Some(meta) = self.pages.remove(&page) {
+            self.release_chunks(page, &meta);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Size and layout helpers
+    // ------------------------------------------------------------------
+
+    fn line_size(&mut self, line_addr: u64) -> usize {
+        let key = (line_addr / 64, self.world.generation(line_addr));
+        if let Some(&s) = self.size_cache.get(&key) {
+            return s as usize;
+        }
+        let data = self.world.line_data(line_addr);
+        let size = if compresso_compression::is_zero_line(&data) {
+            0
+        } else {
+            self.codec.compressed_size(&data)
+        };
+        self.size_cache.insert(key, size as u8);
+        size
+    }
+
+    fn line_bin(&mut self, line_addr: u64) -> u8 {
+        let size = self.line_size(line_addr);
+        self.cfg.bins.quantize(size).index
+    }
+
+    fn metadata_addr(page: u64) -> u64 {
+        METADATA_BASE + page * 64
+    }
+
+    /// Allocates backing storage of `bytes` for `page`, returning chunk
+    /// frame numbers covering the logical page in order.
+    fn allocate_page(&mut self, page: u64, bytes: u32) -> Vec<u32> {
+        if bytes == 0 {
+            return Vec::new();
+        }
+        match &mut self.alloc {
+            Allocator::Chunks(a) => (0..bytes.div_ceil(CHUNK_BYTES))
+                .map(|_| a.alloc().expect("MPA exhausted: balloon before this point"))
+                .collect(),
+            Allocator::Buddy(a) => {
+                let base = a.alloc(bytes).expect("MPA exhausted: balloon before this point");
+                self.buddy_base.insert(page, base);
+                (0..bytes.div_ceil(CHUNK_BYTES)).map(|i| (base / 512) as u32 + i).collect()
+            }
+        }
+    }
+
+    fn release_chunks(&mut self, page: u64, meta: &PageMeta) {
+        match &mut self.alloc {
+            Allocator::Chunks(a) => {
+                for &c in &meta.chunks {
+                    a.free(c);
+                }
+            }
+            Allocator::Buddy(a) => {
+                if let Some(base) = self.buddy_base.remove(&page) {
+                    a.free(base, meta.page_bytes);
+                }
+            }
+        }
+    }
+
+    /// Grows (or shrinks) a page's allocation to `new_bytes`, preserving
+    /// the chunk prefix where possible (Chunks512) or reallocating
+    /// (Variable4). Returns the new chunk list.
+    fn resize_page(&mut self, page: u64, meta: &PageMeta, new_bytes: u32) -> Vec<u32> {
+        match &mut self.alloc {
+            Allocator::Chunks(a) => {
+                let mut chunks = meta.chunks.clone();
+                let want = new_bytes.div_ceil(CHUNK_BYTES) as usize;
+                while chunks.len() < want {
+                    chunks.push(a.alloc().expect("MPA exhausted: balloon before this point"));
+                }
+                while chunks.len() > want {
+                    a.free(chunks.pop().expect("nonempty"));
+                }
+                chunks
+            }
+            Allocator::Buddy(a) => {
+                if let Some(base) = self.buddy_base.remove(&page) {
+                    a.free(base, meta.page_bytes.max(512));
+                }
+                if new_bytes == 0 {
+                    return Vec::new();
+                }
+                let base = a.alloc(new_bytes).expect("MPA exhausted: balloon before this point");
+                self.buddy_base.insert(page, base);
+                (0..new_bytes.div_ceil(CHUNK_BYTES)).map(|i| (base / 512) as u32 + i).collect()
+            }
+        }
+    }
+
+    /// First touch of a page: compute all line bins and allocate storage.
+    /// Initialization is not charged to the measured access stream (the
+    /// uncompressed baseline faults pages in outside the window too).
+    fn ensure_page(&mut self, page: u64) {
+        if self.pages.contains_key(&page) {
+            return;
+        }
+        let mut bins = [0u8; LINES_PER_PAGE];
+        let mut all_zero = true;
+        for (line, bin) in bins.iter_mut().enumerate() {
+            let addr = page * PAGE_BYTES as u64 + line as u64 * 64;
+            *bin = self.line_bin(addr);
+            all_zero &= *bin == 0;
+        }
+        let meta = if all_zero {
+            PageMeta::zero_page()
+        } else {
+            let data_bytes: u32 =
+                bins.iter().map(|&b| self.cfg.bins.bin(b).bytes as u32).sum();
+            // A page whose lines are all 64 B bins carries no compression:
+            // store it raw, which also makes its metadata eligible for the
+            // half-entry optimization (§IV-B5).
+            let compressed = data_bytes < PAGE_BYTES;
+            let page_bytes = self.cfg.allocation.fit(data_bytes.max(1));
+            let chunks = self.allocate_page(page, page_bytes);
+            PageMeta {
+                valid: true,
+                zero: false,
+                compressed,
+                page_bytes,
+                chunks,
+                line_bins: bins,
+                inflated: Vec::new(),
+            }
+        };
+        self.pages.insert(page, meta);
+    }
+
+    /// MPA burst addresses covering `size` bytes at logical `offset` of a
+    /// page backed by `chunks`.
+    fn bursts(chunks: &[u32], offset: u32, size: u32) -> Vec<u64> {
+        if size == 0 {
+            return Vec::new();
+        }
+        let first = offset / 64;
+        let last = (offset + size - 1) / 64;
+        (first..=last)
+            .map(|unit| {
+                let logical = unit * 64;
+                let chunk = chunks[(logical / CHUNK_BYTES) as usize];
+                ChunkAllocator::chunk_addr(chunk) + (logical % CHUNK_BYTES) as u64
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Metadata path
+    // ------------------------------------------------------------------
+
+    /// Performs the metadata access for `page`, returning the cycle at
+    /// which translation is available.
+    fn metadata_access(&mut self, now: u64, page: u64, dirty: bool) -> u64 {
+        let uncompressed = self.pages.get(&page).map(|m| !m.compressed).unwrap_or(false);
+        let access = self.mcache.access(page, uncompressed, dirty);
+        let mut t = now;
+        if access.hit {
+            self.stats.mcache_hits += 1;
+            t += self.cfg.mcache_hit_latency;
+        } else {
+            self.stats.mcache_misses += 1;
+            // Miss: fetch the entry from the metadata region in DRAM.
+            let r = self.mem.read(now, Self::metadata_addr(page));
+            self.stats.metadata_accesses += 1;
+            t = r.complete_at;
+        }
+        for (victim, victim_dirty) in access.evicted {
+            if victim_dirty {
+                self.mem.write(t, Self::metadata_addr(victim));
+                self.stats.metadata_accesses += 1;
+            }
+            self.predictor.on_mcache_eviction(victim);
+            if self.cfg.repacking {
+                self.maybe_repack(t, victim);
+            }
+        }
+        t
+    }
+
+    // ------------------------------------------------------------------
+    // Repacking (§IV-B4)
+    // ------------------------------------------------------------------
+
+    /// Metadata-cache eviction trigger: repack `page` if doing so frees at
+    /// least one 512 B chunk.
+    fn maybe_repack(&mut self, now: u64, page: u64) {
+        let Some(meta) = self.pages.get(&page) else { return };
+        if !meta.valid || meta.zero {
+            return;
+        }
+        let old_bytes = meta.page_bytes;
+        let old_used = meta.used_bytes(&self.cfg.bins);
+        // Recompute current line sizes (harvesting underflows, inflated
+        // lines, and predictor-inflated pages).
+        let mut bins = [0u8; LINES_PER_PAGE];
+        let mut all_zero = true;
+        for (line, bin) in bins.iter_mut().enumerate() {
+            let addr = page * PAGE_BYTES as u64 + line as u64 * 64;
+            *bin = self.line_bin(addr);
+            all_zero &= *bin == 0;
+        }
+        let new_data: u32 = bins.iter().map(|&b| self.cfg.bins.bin(b).bytes as u32).sum();
+        let new_bytes = if all_zero { 0 } else { self.cfg.allocation.fit(new_data.max(1)) };
+        if new_bytes + CHUNK_BYTES > old_bytes {
+            return; // would not free a chunk: not worth the movement
+        }
+        // Movement: read the live data, write it repacked.
+        let moves = old_used.div_ceil(64) + new_data.div_ceil(64);
+        for i in 0..moves {
+            // Model the repack traffic as sequential bursts over the page.
+            let addr = page * PAGE_BYTES as u64 + (i as u64 % LINES_PER_PAGE as u64) * 64;
+            if i % 2 == 0 {
+                self.mem.read(now, addr);
+            } else {
+                self.mem.write(now, addr);
+            }
+        }
+        self.stats.repack_extra += moves as u64;
+        self.stats.repacks += 1;
+        self.predictor.page_calm();
+
+        let meta = self.pages.get_mut(&page).expect("checked above");
+        meta.line_bins = bins;
+        meta.inflated.clear();
+        meta.zero = all_zero;
+        meta.compressed = new_data < PAGE_BYTES;
+        let old_meta = meta.clone();
+        let chunks = self.resize_page(page, &old_meta, new_bytes);
+        let meta = self.pages.get_mut(&page).expect("checked above");
+        meta.chunks = chunks;
+        meta.page_bytes = new_bytes;
+    }
+
+    // ------------------------------------------------------------------
+    // Overflow handling (§IV-B2, §IV-B3)
+    // ------------------------------------------------------------------
+
+    /// Full-page recompression after an overflow that the inflation room
+    /// could not absorb (Fig. 5c, Option 1). Returns the cycle the page is
+    /// consistent again.
+    fn recompress_page(&mut self, now: u64, page: u64) -> u64 {
+        let meta = self.pages.get(&page).expect("page exists").clone();
+        let mut bins = [0u8; LINES_PER_PAGE];
+        for (line, bin) in bins.iter_mut().enumerate() {
+            let addr = page * PAGE_BYTES as u64 + line as u64 * 64;
+            *bin = self.line_bin(addr);
+        }
+        let new_data: u32 = bins.iter().map(|&b| self.cfg.bins.bin(b).bytes as u32).sum();
+        let new_bytes = self.cfg.allocation.fit(new_data.max(1));
+        if new_bytes > meta.page_bytes {
+            self.stats.page_overflows += 1;
+            self.predictor.page_overflow();
+        }
+        let old_used = meta.used_bytes(&self.cfg.bins);
+        let moves = old_used.div_ceil(64) + new_data.div_ceil(64);
+        let mut t = now;
+        for i in 0..moves {
+            let addr = page * PAGE_BYTES as u64 + (i as u64 % LINES_PER_PAGE as u64) * 64;
+            let r = if i % 2 == 0 { self.mem.read(t, addr) } else { self.mem.write(t, addr) };
+            t = t.max(r.complete_at);
+        }
+        self.stats.overflow_extra += moves as u64;
+
+        let chunks = self.resize_page(page, &meta, new_bytes);
+        let compressed = new_data < PAGE_BYTES;
+        let meta = self.pages.get_mut(&page).expect("page exists");
+        meta.line_bins = bins;
+        meta.inflated.clear();
+        meta.compressed = compressed;
+        meta.zero = false;
+        meta.chunks = chunks;
+        meta.page_bytes = new_bytes;
+        t
+    }
+
+    /// Speculatively stores the whole page uncompressed (predictor hit).
+    fn inflate_page(&mut self, now: u64, page: u64) {
+        let meta = self.pages.get(&page).expect("page exists").clone();
+        let old_used = meta.used_bytes(&self.cfg.bins);
+        let moves = old_used.div_ceil(64) + LINES_PER_PAGE as u32;
+        for i in 0..moves {
+            let addr = page * PAGE_BYTES as u64 + (i as u64 % LINES_PER_PAGE as u64) * 64;
+            if i % 2 == 0 {
+                self.mem.read(now, addr);
+            } else {
+                self.mem.write(now, addr);
+            }
+        }
+        self.stats.overflow_extra += moves as u64;
+        self.stats.predictor_inflations += 1;
+
+        let chunks = self.resize_page(page, &meta, PAGE_BYTES);
+        let meta = self.pages.get_mut(&page).expect("page exists");
+        meta.compressed = false;
+        meta.zero = false;
+        meta.inflated.clear();
+        meta.chunks = chunks;
+        meta.page_bytes = PAGE_BYTES;
+    }
+}
+
+impl Backend for CompressoDevice {
+    fn fill(&mut self, now: u64, line_addr: u64) -> u64 {
+        self.stats.demand_fills += 1;
+        let page = line_addr / PAGE_BYTES as u64;
+        let line = ((line_addr % PAGE_BYTES as u64) / 64) as usize;
+        self.ensure_page(page);
+
+        let t = self.metadata_access(now, page, false);
+        let meta = self.pages.get(&page).expect("ensured");
+        let location = meta.locate(line, &self.cfg.bins);
+        match location {
+            LineLocation::Zero => {
+                // Served from metadata alone: no DRAM access at all.
+                self.stats.zero_fills += 1;
+                t
+            }
+            LineLocation::Packed { offset, size } => {
+                let chunks = meta.chunks.clone();
+                let bursts = Self::bursts(&chunks, offset, size);
+                // Free prefetch: a previously fetched compressed burst may
+                // already hold this line.
+                if bursts.len() == 1 && size < 64 {
+                    let unit = offset / 64;
+                    if self.prefetch.contains(&(page, unit)) {
+                        self.stats.prefetch_hits += 1;
+                        return t + self.cfg.offset_calc_latency + self.cfg.codec_latency;
+                    }
+                }
+                let mut done = t + self.cfg.offset_calc_latency;
+                let issue = done;
+                for (i, &addr) in bursts.iter().enumerate() {
+                    let r = self.mem.read(issue, addr);
+                    done = done.max(r.complete_at);
+                    if i == 0 {
+                        self.stats.data_accesses += 1;
+                    } else {
+                        self.stats.split_access_extra += 1;
+                    }
+                }
+                if size < 64 {
+                    // Remember the fetched logical 64 B units: neighbouring
+                    // compressed lines in them are free prefetches.
+                    let first_unit = offset / 64;
+                    let last_unit = (offset + size - 1) / 64;
+                    for unit in first_unit..=last_unit {
+                        if self.prefetch.len() >= PREFETCH_BUFFER {
+                            self.prefetch.pop_front();
+                        }
+                        self.prefetch.push_back((page, unit));
+                    }
+                }
+                if size < 64 {
+                    // 64 B bins are stored raw: no decompression latency.
+                    done += self.cfg.codec_latency;
+                }
+                done
+            }
+            LineLocation::Inflated { offset } => {
+                let chunks = meta.chunks.clone();
+                let bursts = Self::bursts(&chunks, offset, 64);
+                let mut done = t + self.cfg.offset_calc_latency;
+                for (i, &addr) in bursts.iter().enumerate() {
+                    let r = self.mem.read(done, addr);
+                    done = done.max(r.complete_at);
+                    if i == 0 {
+                        self.stats.data_accesses += 1;
+                    } else {
+                        self.stats.split_access_extra += 1;
+                    }
+                }
+                done
+            }
+        }
+    }
+
+    fn writeback(&mut self, now: u64, line_addr: u64) -> u64 {
+        self.stats.demand_writebacks += 1;
+        let page = line_addr / PAGE_BYTES as u64;
+        let line = ((line_addr % PAGE_BYTES as u64) / 64) as usize;
+        self.ensure_page(page);
+
+        let t = self.metadata_access(now, page, true);
+        self.mcache.mark_dirty(page);
+        // Stores invalidate any buffered bursts of this page.
+        self.prefetch.retain(|&(p, _)| p != page);
+
+        // The store stream changes the data.
+        self.world.on_writeback(line_addr);
+        let new_size = self.line_size(line_addr);
+        let new_bin = self.cfg.bins.quantize(new_size);
+
+        let meta = self.pages.get(&page).expect("ensured");
+        // Zero-line writeback to a zero (or any) page slot of bin 0: pure
+        // metadata update.
+        if new_bin.bytes == 0 && matches!(meta.locate(line, &self.cfg.bins), LineLocation::Zero) {
+            self.stats.zero_writebacks += 1;
+            return t;
+        }
+
+        if meta.zero {
+            // First real data lands in an all-zero page: allocate the
+            // smallest page and place the line.
+            let page_bytes = self.cfg.allocation.fit(new_bin.bytes.max(1) as u32);
+            let chunks = self.allocate_page(page, page_bytes);
+            let meta = self.pages.get_mut(&page).expect("ensured");
+            meta.zero = false;
+            meta.page_bytes = page_bytes;
+            meta.chunks = chunks;
+            meta.line_bins = [0; LINES_PER_PAGE];
+            meta.line_bins[line] = new_bin.index;
+            let meta = self.pages.get(&page).expect("ensured");
+            if let LineLocation::Packed { offset, size } = meta.locate(line, &self.cfg.bins) {
+                let chunks = meta.chunks.clone();
+                for &addr in &Self::bursts(&chunks, offset, size) {
+                    self.mem.write(t, addr);
+                }
+                self.stats.data_accesses += 1;
+            }
+            return t;
+        }
+
+        if !meta.compressed {
+            // Raw page: identity placement, one burst.
+            let chunks = meta.chunks.clone();
+            let bursts = Self::bursts(&chunks, line as u32 * 64, 64);
+            let r = self.mem.write(t, bursts[0]);
+            self.stats.data_accesses += 1;
+            return r.complete_at.max(t);
+        }
+
+        if meta.is_inflated(line) {
+            // Already in the inflation room: overwrite its 64 B slot.
+            if let LineLocation::Inflated { offset } = meta.locate(line, &self.cfg.bins) {
+                let chunks = meta.chunks.clone();
+                let bursts = Self::bursts(&chunks, offset, 64);
+                self.mem.write(t, bursts[0]);
+                self.stats.data_accesses += 1;
+            }
+            return t;
+        }
+
+        let old_bin = meta.bin_of(line, &self.cfg.bins);
+        use std::cmp::Ordering;
+        match new_bin.index.cmp(&old_bin.index) {
+            Ordering::Equal | Ordering::Less => {
+                if new_bin.index < old_bin.index {
+                    // Underflow: data shrank; the slot keeps its size and
+                    // the potential free space is harvested by repacking.
+                    self.stats.line_underflows += 1;
+                    self.predictor.line_underflow(page);
+                }
+                if new_bin.bytes == 0 {
+                    // The line became all zeros: a pure metadata update
+                    // (the stale slot is reclaimed at repack time).
+                    self.stats.zero_writebacks += 1;
+                    return t;
+                }
+                if old_bin.bytes > 0 {
+                    let chunks = meta.chunks.clone();
+                    if let LineLocation::Packed { offset, .. } = meta.locate(line, &self.cfg.bins)
+                    {
+                        let bursts =
+                            Self::bursts(&chunks, offset, new_bin.bytes.max(1) as u32);
+                        for (i, &addr) in bursts.iter().enumerate() {
+                            self.mem.write(t, addr);
+                            if i == 0 {
+                                self.stats.data_accesses += 1;
+                            } else {
+                                self.stats.split_access_extra += 1;
+                            }
+                        }
+                    }
+                } else {
+                    // Old slot was the zero bin: the line needs a slot now
+                    // — treat as an overflow into the inflation room.
+                    return self.handle_overflow(t, page, line, new_bin.index);
+                }
+                t
+            }
+            Ordering::Greater => self.handle_overflow(t, page, line, new_bin.index),
+        }
+    }
+}
+
+impl CompressoDevice {
+    fn handle_overflow(&mut self, now: u64, page: u64, line: usize, _new_bin: u8) -> u64 {
+        self.stats.line_overflows += 1;
+        self.predictor.line_overflow(page);
+
+        // Page-overflow prediction: store the whole page uncompressed.
+        if self.cfg.prediction && self.predictor.should_inflate(page) {
+            self.inflate_page(now, page);
+            let meta = self.pages.get(&page).expect("page exists");
+            let chunks = meta.chunks.clone();
+            let bursts = Self::bursts(&chunks, line as u32 * 64, 64);
+            self.mem.write(now, bursts[0]);
+            self.stats.data_accesses += 1;
+            return now;
+        }
+
+        let meta = self.pages.get(&page).expect("page exists");
+        // Inflation room: free space and a free pointer → 1 write.
+        if meta.inflated.len() < self.cfg.max_inflated
+            && meta.free_bytes(&self.cfg.bins) >= 64
+        {
+            let meta = self.pages.get_mut(&page).expect("page exists");
+            meta.inflated.push(line as u8);
+            let meta = self.pages.get(&page).expect("page exists");
+            if let LineLocation::Inflated { offset } = meta.locate(line, &self.cfg.bins) {
+                let chunks = meta.chunks.clone();
+                let bursts = Self::bursts(&chunks, offset, 64);
+                self.mem.write(now, bursts[0]);
+                self.stats.data_accesses += 1;
+                self.stats.ir_placements += 1;
+            }
+            return now;
+        }
+
+        // Dynamic inflation-room expansion: allocate one more chunk.
+        if self.cfg.ir_expansion
+            && self.cfg.allocation == PageAllocation::Chunks512
+            && meta.chunks.len() < 8
+            && meta.inflated.len() < self.cfg.max_inflated
+        {
+            let old = meta.clone();
+            let new_bytes = old.page_bytes + CHUNK_BYTES;
+            let chunks = self.resize_page(page, &old, new_bytes);
+            let meta = self.pages.get_mut(&page).expect("page exists");
+            meta.chunks = chunks;
+            meta.page_bytes = new_bytes;
+            meta.inflated.push(line as u8);
+            self.stats.ir_expansions += 1;
+            let meta = self.pages.get(&page).expect("page exists");
+            if let LineLocation::Inflated { offset } = meta.locate(line, &self.cfg.bins) {
+                let chunks = meta.chunks.clone();
+                let bursts = Self::bursts(&chunks, offset, 64);
+                self.mem.write(now, bursts[0]);
+                self.stats.data_accesses += 1;
+            }
+            return now;
+        }
+
+        // Worst case: recompress the page (Fig. 5c, Option 1).
+        let t = self.recompress_page(now, page);
+        let meta = self.pages.get(&page).expect("page exists");
+        if let LineLocation::Packed { offset, size } = meta.locate(line, &self.cfg.bins) {
+            let chunks = meta.chunks.clone();
+            for (i, &addr) in Self::bursts(&chunks, offset, size).iter().enumerate() {
+                self.mem.write(t, addr);
+                if i == 0 {
+                    self.stats.data_accesses += 1;
+                } else {
+                    self.stats.split_access_extra += 1;
+                }
+            }
+        }
+        t
+    }
+}
+
+impl MemoryDevice for CompressoDevice {
+    fn device_name(&self) -> &'static str {
+        "Compresso"
+    }
+
+    fn device_stats(&self) -> &DeviceStats {
+        &self.stats
+    }
+
+    fn dram_stats(&self) -> &MemStats {
+        self.mem.stats()
+    }
+
+    fn compression_ratio(&self) -> f64 {
+        let used = self.mpa_used_bytes();
+        if used == 0 {
+            return 1.0;
+        }
+        self.touched_ospa_bytes() as f64 / used as f64
+    }
+
+    fn mpa_used_bytes(&self) -> u64 {
+        let data = match &self.alloc {
+            Allocator::Chunks(a) => a.used_bytes(),
+            Allocator::Buddy(a) => a.used_bytes(),
+        };
+        data + self.pages.len() as u64 * 64 // metadata entries
+    }
+
+    fn touched_ospa_bytes(&self) -> u64 {
+        self.pages.len() as u64 * PAGE_BYTES as u64
+    }
+}

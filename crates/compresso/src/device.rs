@@ -1,0 +1,130 @@
+//! The memory-device abstraction and the uncompressed baseline.
+
+use crate::stats::DeviceStats;
+use compresso_cache_sim::Backend;
+use compresso_mem_sim::{MainMemory, MemConfig, MemStats};
+
+/// A main-memory device: the uncompressed baseline, Compresso, or an LCP
+/// variant. All devices speak OSPA line addresses on the LLC side and
+/// perform MPA DRAM accesses internally.
+pub trait MemoryDevice: Backend {
+    /// Device name for reports ("uncompressed", "Compresso", "LCP", …).
+    fn device_name(&self) -> &'static str;
+
+    /// Compression/data-movement event counters.
+    fn device_stats(&self) -> &DeviceStats;
+
+    /// DRAM-level counters (row hits, activations, …) for energy.
+    fn dram_stats(&self) -> &MemStats;
+
+    /// Current compression ratio: touched OSPA bytes over MPA bytes used
+    /// (data + metadata). 1.0 for the uncompressed baseline.
+    fn compression_ratio(&self) -> f64;
+
+    /// MPA bytes currently in use (data + metadata).
+    fn mpa_used_bytes(&self) -> u64;
+
+    /// OSPA bytes touched so far.
+    fn touched_ospa_bytes(&self) -> u64;
+}
+
+/// The uncompressed baseline: OSPA is MPA; every fill and writeback is
+/// exactly one DRAM burst.
+#[derive(Debug)]
+pub struct UncompressedDevice {
+    mem: MainMemory,
+    stats: DeviceStats,
+    touched_pages: std::collections::HashSet<u64>,
+}
+
+impl UncompressedDevice {
+    /// Creates the baseline over the paper's DDR4-2666 channel.
+    pub fn new() -> Self {
+        Self::with_config(MemConfig::ddr4_2666())
+    }
+
+    /// Creates the baseline over an explicit DRAM configuration.
+    pub fn with_config(config: MemConfig) -> Self {
+        Self {
+            mem: MainMemory::new(config),
+            stats: DeviceStats::default(),
+            touched_pages: std::collections::HashSet::new(),
+        }
+    }
+}
+
+impl Default for UncompressedDevice {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Backend for UncompressedDevice {
+    fn fill(&mut self, now: u64, line_addr: u64) -> u64 {
+        self.stats.demand_fills += 1;
+        self.stats.data_accesses += 1;
+        self.touched_pages.insert(line_addr / 4096);
+        self.mem.read(now, line_addr).complete_at
+    }
+
+    fn writeback(&mut self, now: u64, line_addr: u64) -> u64 {
+        self.stats.demand_writebacks += 1;
+        self.stats.data_accesses += 1;
+        self.touched_pages.insert(line_addr / 4096);
+        self.mem.write(now, line_addr).complete_at
+    }
+}
+
+impl MemoryDevice for UncompressedDevice {
+    fn device_name(&self) -> &'static str {
+        "uncompressed"
+    }
+
+    fn device_stats(&self) -> &DeviceStats {
+        &self.stats
+    }
+
+    fn dram_stats(&self) -> &MemStats {
+        self.mem.stats()
+    }
+
+    fn compression_ratio(&self) -> f64 {
+        1.0
+    }
+
+    fn mpa_used_bytes(&self) -> u64 {
+        self.touched_ospa_bytes()
+    }
+
+    fn touched_ospa_bytes(&self) -> u64 {
+        self.touched_pages.len() as u64 * 4096
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_counts_one_access_per_demand() {
+        let mut d = UncompressedDevice::new();
+        let t1 = d.fill(0, 0x1000);
+        assert!(t1 > 0);
+        let t2 = d.writeback(t1, 0x2000);
+        assert!(t2 >= t1);
+        assert_eq!(d.device_stats().demand_fills, 1);
+        assert_eq!(d.device_stats().demand_writebacks, 1);
+        assert_eq!(d.device_stats().total_accesses(), 2);
+        assert_eq!(d.device_stats().relative_extra_accesses(), 0.0);
+    }
+
+    #[test]
+    fn baseline_ratio_is_one() {
+        let mut d = UncompressedDevice::new();
+        d.fill(0, 0);
+        d.fill(0, 4096);
+        assert_eq!(d.compression_ratio(), 1.0);
+        assert_eq!(d.touched_ospa_bytes(), 8192);
+        assert_eq!(d.mpa_used_bytes(), 8192);
+    }
+}

@@ -1,0 +1,165 @@
+//! Huge-page handling (§II-B).
+//!
+//! Compresso keeps the OSPA page size fixed at 4 KB. Larger OS page sizes
+//! (2 MB, 1 GB) are legal in the virtual/OSPA space — the memory
+//! controller simply breaks them into their 4 KB building blocks in the
+//! MPA space, each with its own metadata entry. This module provides that
+//! decomposition plus bookkeeping that preserves huge-page identity (so a
+//! balloon or an invalidation can address the whole huge page at once).
+
+use std::collections::HashMap;
+
+/// OSPA base-page size.
+pub const BASE_PAGE: u64 = 4096;
+/// 2 MB huge page in base pages.
+pub const HUGE_2M_PAGES: u64 = 512;
+/// 1 GB huge page in base pages.
+pub const HUGE_1G_PAGES: u64 = 262_144;
+
+/// An OS page size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OsPageSize {
+    /// 4 KB.
+    Base,
+    /// 2 MB.
+    Huge2M,
+    /// 1 GB.
+    Huge1G,
+}
+
+impl OsPageSize {
+    /// Number of 4 KB building blocks.
+    pub fn base_pages(&self) -> u64 {
+        match self {
+            OsPageSize::Base => 1,
+            OsPageSize::Huge2M => HUGE_2M_PAGES,
+            OsPageSize::Huge1G => HUGE_1G_PAGES,
+        }
+    }
+
+    /// Size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.base_pages() * BASE_PAGE
+    }
+}
+
+/// Tracks which OSPA base pages belong to which huge page.
+#[derive(Debug, Clone, Default)]
+pub struct HugePageMap {
+    /// Huge-page start (base-page number) → size.
+    regions: HashMap<u64, OsPageSize>,
+}
+
+impl HugePageMap {
+    /// Creates an empty map (everything is a base page).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a huge page starting at base-page number `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is not aligned to the huge-page size or the
+    /// region overlaps an existing huge page.
+    pub fn register(&mut self, start: u64, size: OsPageSize) {
+        assert_ne!(size, OsPageSize::Base, "base pages need no registration");
+        assert_eq!(start % size.base_pages(), 0, "huge page must be size-aligned");
+        for (&other, &other_size) in &self.regions {
+            let (a0, a1) = (start, start + size.base_pages());
+            let (b0, b1) = (other, other + other_size.base_pages());
+            assert!(a1 <= b0 || b1 <= a0, "huge pages must not overlap");
+        }
+        self.regions.insert(start, size);
+    }
+
+    /// The 4 KB building blocks of the OS page containing `base_page` —
+    /// what the OSPA-to-MPA layer actually translates.
+    pub fn building_blocks(&self, base_page: u64) -> impl Iterator<Item = u64> + '_ {
+        let (start, len) = match self.lookup(base_page) {
+            Some((start, size)) => (start, size.base_pages()),
+            None => (base_page, 1),
+        };
+        start..start + len
+    }
+
+    /// The huge page covering `base_page`, if any.
+    pub fn lookup(&self, base_page: u64) -> Option<(u64, OsPageSize)> {
+        // Candidate starts: the aligned 2M and 1G bases.
+        for align in [HUGE_2M_PAGES, HUGE_1G_PAGES] {
+            let start = base_page / align * align;
+            if let Some(&size) = self.regions.get(&start) {
+                if base_page < start + size.base_pages() {
+                    return Some((start, size));
+                }
+            }
+        }
+        None
+    }
+
+    /// Number of registered huge pages.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Whether no huge pages are registered.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_pages_are_their_own_block() {
+        let map = HugePageMap::new();
+        let blocks: Vec<u64> = map.building_blocks(42).collect();
+        assert_eq!(blocks, vec![42]);
+        assert_eq!(map.lookup(42), None);
+    }
+
+    #[test]
+    fn huge_2m_decomposes_into_512_blocks() {
+        let mut map = HugePageMap::new();
+        map.register(1024, OsPageSize::Huge2M); // base pages 1024..1536
+        let blocks: Vec<u64> = map.building_blocks(1200).collect();
+        assert_eq!(blocks.len(), 512);
+        assert_eq!(blocks[0], 1024);
+        assert_eq!(*blocks.last().unwrap(), 1535);
+        assert_eq!(map.lookup(1535), Some((1024, OsPageSize::Huge2M)));
+        assert_eq!(map.lookup(1536), None);
+    }
+
+    #[test]
+    fn sizes_are_consistent() {
+        assert_eq!(OsPageSize::Base.bytes(), 4096);
+        assert_eq!(OsPageSize::Huge2M.bytes(), 2 << 20);
+        assert_eq!(OsPageSize::Huge1G.bytes(), 1 << 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "size-aligned")]
+    fn misaligned_huge_page_rejected() {
+        let mut map = HugePageMap::new();
+        map.register(100, OsPageSize::Huge2M);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not overlap")]
+    fn overlapping_huge_pages_rejected() {
+        let mut map = HugePageMap::new();
+        map.register(0, OsPageSize::Huge2M);
+        map.register(0, OsPageSize::Huge2M);
+    }
+
+    #[test]
+    fn every_block_of_a_huge_page_resolves_to_it() {
+        let mut map = HugePageMap::new();
+        map.register(512, OsPageSize::Huge2M);
+        for page in [512u64, 700, 1023] {
+            assert_eq!(map.lookup(page), Some((512, OsPageSize::Huge2M)));
+        }
+    }
+}

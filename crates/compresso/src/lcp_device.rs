@@ -1,0 +1,425 @@
+//! The competitive LCP baseline device (§VI-F) and its LCP+Align variant.
+//!
+//! This is the paper's "most competitive baseline based on prior work":
+//! OS-aware LCP enhanced with Compresso's modified BPC, an inflation-
+//! room-like exception region, and the same-size metadata cache. Being
+//! OS-aware, a page overflow raises a page fault to the OS; being LCP, a
+//! speculative data access can be issued in parallel with a metadata miss
+//! (wrong speculation on exception lines costs an extra access).
+
+use crate::alloc::BuddyAllocator;
+use crate::compresso::Codec;
+use crate::device::MemoryDevice;
+use crate::lcp::{plan, LcpPlan};
+use crate::mcache::MetadataCache;
+use crate::metadata::{LINES_PER_PAGE, PAGE_BYTES};
+use crate::stats::DeviceStats;
+use compresso_cache_sim::Backend;
+use compresso_compression::BinSet;
+use compresso_mem_sim::{MainMemory, MemConfig, MemStats};
+use compresso_workloads::LineSource;
+use std::collections::{HashMap, VecDeque};
+
+/// Cycles charged for an OS page fault on a page overflow (an OS-aware
+/// system must trap to remap the page; ~1.7 µs at 3 GHz).
+pub const OS_PAGE_FAULT_CYCLES: u64 = 5000;
+
+const METADATA_BASE: u64 = 1 << 41;
+const PREFETCH_BUFFER: usize = 16;
+
+#[derive(Debug, Clone)]
+struct LcpMeta {
+    plan: LcpPlan,
+    page_bytes: u32,
+    base: u64,
+    zero_lines: [bool; LINES_PER_PAGE],
+    all_zero: bool,
+}
+
+/// The LCP / LCP+Align baseline device.
+pub struct LcpDevice {
+    name: &'static str,
+    bins: BinSet,
+    codec: Codec,
+    world: Box<dyn LineSource>,
+    mem: MainMemory,
+    mcache: MetadataCache,
+    alloc: BuddyAllocator,
+    pages: HashMap<u64, LcpMeta>,
+    size_cache: HashMap<(u64, u64), u8>,
+    prefetch: VecDeque<(u64, u32)>,
+    stats: DeviceStats,
+    codec_latency: u64,
+    mcache_hit_latency: u64,
+}
+
+impl std::fmt::Debug for LcpDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LcpDevice")
+            .field("name", &self.name)
+            .field("pages", &self.pages.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl LcpDevice {
+    /// The plain LCP baseline: compression-optimal legacy bins
+    /// `{0,22,44,64}`.
+    pub fn lcp(world: impl LineSource + 'static) -> Self {
+        Self::build("LCP", BinSet::legacy4(), world)
+    }
+
+    /// LCP with Compresso's alignment-friendly line sizes (the
+    /// "LCP+Align" system of Fig. 10/11).
+    pub fn lcp_align(world: impl LineSource + 'static) -> Self {
+        Self::build("LCP+Align", BinSet::aligned4(), world)
+    }
+
+    fn build(name: &'static str, bins: BinSet, world: impl LineSource + 'static) -> Self {
+        Self {
+            name,
+            bins,
+            codec: Codec::bpc(),
+            world: Box::new(world),
+            mem: MainMemory::new(MemConfig::ddr4_2666()),
+            mcache: MetadataCache::paper_default(false),
+            alloc: BuddyAllocator::new(8 << 30),
+            pages: HashMap::new(),
+            size_cache: HashMap::new(),
+            prefetch: VecDeque::new(),
+            stats: DeviceStats::default(),
+            codec_latency: 12,
+            mcache_hit_latency: 2,
+        }
+    }
+
+    fn line_size(&mut self, line_addr: u64) -> usize {
+        let key = (line_addr / 64, self.world.generation(line_addr));
+        if let Some(&s) = self.size_cache.get(&key) {
+            return s as usize;
+        }
+        let data = self.world.line_data(line_addr);
+        let size = if compresso_compression::is_zero_line(&data) {
+            0
+        } else {
+            self.codec.compressed_size(&data)
+        };
+        self.size_cache.insert(key, size as u8);
+        size
+    }
+
+    fn page_fit(bytes: u32) -> u32 {
+        if bytes == 0 {
+            return 0;
+        }
+        for s in [512u32, 1024, 2048, 4096] {
+            if bytes <= s {
+                return s;
+            }
+        }
+        4096
+    }
+
+    fn ensure_page(&mut self, page: u64) {
+        if self.pages.contains_key(&page) {
+            return;
+        }
+        let mut sizes = [0usize; LINES_PER_PAGE];
+        let mut zero_lines = [false; LINES_PER_PAGE];
+        for (line, size) in sizes.iter_mut().enumerate() {
+            let addr = page * PAGE_BYTES as u64 + line as u64 * 64;
+            *size = self.line_size(addr);
+            zero_lines[line] = *size == 0;
+        }
+        let plan = plan(&sizes, &self.bins);
+        let all_zero = plan.target == 0;
+        let page_bytes = Self::page_fit(plan.needed_bytes);
+        let base = if page_bytes == 0 {
+            0
+        } else {
+            self.alloc.alloc(page_bytes).expect("MPA exhausted")
+        };
+        self.pages.insert(page, LcpMeta { plan, page_bytes, base, zero_lines, all_zero });
+    }
+
+    fn metadata_addr(page: u64) -> u64 {
+        METADATA_BASE + page * 64
+    }
+
+    /// Bursts for `size` bytes at logical `offset` of a page based at
+    /// `base` (contiguous variable-sized allocation).
+    fn bursts(base: u64, offset: u32, size: u32) -> Vec<u64> {
+        if size == 0 {
+            return Vec::new();
+        }
+        let first = offset / 64;
+        let last = (offset + size - 1) / 64;
+        (first..=last).map(|unit| base + unit as u64 * 64).collect()
+    }
+
+    /// Re-plans a page whose exception region overflowed. OS-aware: this
+    /// is a page fault.
+    fn page_overflow(&mut self, now: u64, page: u64) -> u64 {
+        self.stats.page_overflows += 1;
+        let mut sizes = [0usize; LINES_PER_PAGE];
+        for (line, size) in sizes.iter_mut().enumerate() {
+            let addr = page * PAGE_BYTES as u64 + line as u64 * 64;
+            *size = self.line_size(addr);
+        }
+        let new_plan = plan(&sizes, &self.bins);
+        let new_bytes = Self::page_fit(new_plan.needed_bytes);
+        let meta = self.pages.get(&page).expect("page exists");
+        let moves = meta.plan.needed_bytes.div_ceil(64) + new_plan.needed_bytes.div_ceil(64);
+        let mut t = now;
+        for i in 0..moves {
+            let addr = page * PAGE_BYTES as u64 + (i as u64 % 64) * 64;
+            let r = if i % 2 == 0 { self.mem.read(t, addr) } else { self.mem.write(t, addr) };
+            t = t.max(r.complete_at);
+        }
+        self.stats.overflow_extra += moves as u64;
+        let old_bytes = meta.page_bytes;
+        let old_base = meta.base;
+        if old_bytes > 0 {
+            self.alloc.free(old_base, old_bytes);
+        }
+        let base = if new_bytes == 0 { 0 } else { self.alloc.alloc(new_bytes).expect("MPA") };
+        let meta = self.pages.get_mut(&page).expect("page exists");
+        meta.plan = new_plan;
+        meta.page_bytes = new_bytes;
+        meta.base = base;
+        // The OS trap dominates the latency of an OS-aware overflow.
+        t + OS_PAGE_FAULT_CYCLES
+    }
+}
+
+impl Backend for LcpDevice {
+    fn fill(&mut self, now: u64, line_addr: u64) -> u64 {
+        self.stats.demand_fills += 1;
+        let page = line_addr / PAGE_BYTES as u64;
+        let line = ((line_addr % PAGE_BYTES as u64) / 64) as usize;
+        self.ensure_page(page);
+
+        let meta = self.pages.get(&page).expect("ensured");
+        let is_exception = meta.plan.exceptions.contains(&(line as u8));
+        let zero = meta.all_zero || meta.zero_lines[line];
+        let target = meta.plan.target;
+        let base = meta.base;
+        let location = meta.plan.offset_of(line);
+
+        // Metadata access, possibly with a parallel speculative data read.
+        let access = self.mcache.access(page, false, false);
+        let mut t_meta = now;
+        let mut speculated = false;
+        if access.hit {
+            self.stats.mcache_hits += 1;
+            t_meta += self.mcache_hit_latency;
+        } else {
+            self.stats.mcache_misses += 1;
+            let r = self.mem.read(now, Self::metadata_addr(page));
+            self.stats.metadata_accesses += 1;
+            t_meta = r.complete_at;
+            speculated = !zero && target > 0;
+        }
+        for (victim, dirty) in access.evicted {
+            if dirty {
+                self.mem.write(t_meta, Self::metadata_addr(victim));
+                self.stats.metadata_accesses += 1;
+            }
+        }
+
+        if zero {
+            self.stats.zero_fills += 1;
+            return t_meta;
+        }
+        let Some((offset, size)) = location else {
+            self.stats.zero_fills += 1;
+            return t_meta;
+        };
+
+        // Speculative access: issued at `now` assuming the non-exception
+        // slot; correct unless the line is an exception.
+        let mut done = t_meta;
+        if speculated {
+            let spec_bursts = Self::bursts(base, line as u32 * target, target);
+            let mut spec_done = now;
+            for (i, &addr) in spec_bursts.iter().enumerate() {
+                let r = self.mem.read(now, addr);
+                spec_done = spec_done.max(r.complete_at);
+                if i == 0 {
+                    self.stats.data_accesses += 1;
+                } else {
+                    self.stats.split_access_extra += 1;
+                }
+            }
+            if !is_exception {
+                // Speculation correct: data and metadata overlap.
+                done = done.max(spec_done);
+                if size < 64 {
+                    done += self.codec_latency;
+                }
+                return done;
+            }
+            // Wasted speculation: the real (exception) access follows.
+            self.stats.overflow_extra += spec_bursts.len() as u64;
+        }
+
+        if bursts_hit_prefetch(&self.prefetch, page, offset, size) {
+            self.stats.prefetch_hits += 1;
+            return done + if size < 64 { self.codec_latency } else { 0 };
+        }
+        for (i, &addr) in Self::bursts(base, offset, size).iter().enumerate() {
+            let r = self.mem.read(done, addr);
+            done = done.max(r.complete_at);
+            if i == 0 {
+                self.stats.data_accesses += 1;
+            } else {
+                self.stats.split_access_extra += 1;
+            }
+        }
+        if size < 64 {
+            let first = offset / 64;
+            let last = (offset + size - 1) / 64;
+            for unit in first..=last {
+                if self.prefetch.len() >= PREFETCH_BUFFER {
+                    self.prefetch.pop_front();
+                }
+                self.prefetch.push_back((page, unit));
+            }
+            done += self.codec_latency;
+        }
+        done
+    }
+
+    fn writeback(&mut self, now: u64, line_addr: u64) -> u64 {
+        self.stats.demand_writebacks += 1;
+        let page = line_addr / PAGE_BYTES as u64;
+        let line = ((line_addr % PAGE_BYTES as u64) / 64) as usize;
+        self.ensure_page(page);
+        self.prefetch.retain(|&(p, _)| p != page);
+
+        let access = self.mcache.access(page, false, true);
+        let mut t = now;
+        if access.hit {
+            self.stats.mcache_hits += 1;
+            t += self.mcache_hit_latency;
+        } else {
+            self.stats.mcache_misses += 1;
+            let r = self.mem.read(now, Self::metadata_addr(page));
+            self.stats.metadata_accesses += 1;
+            t = r.complete_at;
+        }
+        for (victim, dirty) in access.evicted {
+            if dirty {
+                self.mem.write(t, Self::metadata_addr(victim));
+                self.stats.metadata_accesses += 1;
+            }
+        }
+
+        self.world.on_writeback(line_addr);
+        let new_size = self.line_size(line_addr);
+        let meta = self.pages.get_mut(&page).expect("ensured");
+
+        if new_size == 0 {
+            meta.zero_lines[line] = true;
+            self.stats.zero_writebacks += 1;
+            return t;
+        }
+        meta.zero_lines[line] = false;
+
+        if meta.all_zero {
+            // First data into an all-zero page: plan it as a page of one
+            // line (OS-aware: this too traps, but the common path in the
+            // paper's model charges it as an overflow re-plan).
+            return self.page_overflow(t, page);
+        }
+
+        let target = meta.plan.target;
+        let is_exception = meta.plan.exceptions.contains(&(line as u8));
+        if is_exception || new_size as u32 <= target {
+            let (offset, size) = meta.plan.offset_of(line).expect("nonzero target");
+            let base = meta.base;
+            let write_size = if is_exception { 64 } else { size.min(new_size as u32).max(1) };
+            for (i, &addr) in Self::bursts(base, offset, write_size).iter().enumerate() {
+                self.mem.write(t, addr);
+                if i == 0 {
+                    self.stats.data_accesses += 1;
+                } else {
+                    self.stats.split_access_extra += 1;
+                }
+            }
+            if (new_size as u32) < target && !is_exception {
+                self.stats.line_underflows += 1;
+            }
+            return t;
+        }
+
+        // Overflow: try a fresh exception slot.
+        self.stats.line_overflows += 1;
+        let capacity = (meta.page_bytes.saturating_sub(meta.plan.data_region())) / 64;
+        if (meta.plan.exceptions.len() as u32) < capacity {
+            meta.plan.exceptions.push(line as u8);
+            let (offset, _) = meta.plan.offset_of(line).expect("nonzero target");
+            let base = meta.base;
+            for &addr in &Self::bursts(base, offset, 64) {
+                self.mem.write(t, addr);
+            }
+            self.stats.data_accesses += 1;
+            self.stats.ir_placements += 1;
+            return t;
+        }
+        // Exception region full: OS-visible page overflow.
+        let done = self.page_overflow(t, page);
+        let meta = self.pages.get(&page).expect("page exists");
+        if let Some((offset, size)) = meta.plan.offset_of(line) {
+            let base = meta.base;
+            for (i, &addr) in Self::bursts(base, offset, size).iter().enumerate() {
+                self.mem.write(done, addr);
+                if i == 0 {
+                    self.stats.data_accesses += 1;
+                } else {
+                    self.stats.split_access_extra += 1;
+                }
+            }
+        }
+        done
+    }
+}
+
+fn bursts_hit_prefetch(buffer: &VecDeque<(u64, u32)>, page: u64, offset: u32, size: u32) -> bool {
+    if size == 0 || size >= 64 {
+        return false;
+    }
+    let first = offset / 64;
+    let last = (offset + size - 1) / 64;
+    (first..=last).all(|u| buffer.contains(&(page, u)))
+}
+
+impl MemoryDevice for LcpDevice {
+    fn device_name(&self) -> &'static str {
+        self.name
+    }
+
+    fn device_stats(&self) -> &DeviceStats {
+        &self.stats
+    }
+
+    fn dram_stats(&self) -> &MemStats {
+        self.mem.stats()
+    }
+
+    fn compression_ratio(&self) -> f64 {
+        let used = self.mpa_used_bytes();
+        if used == 0 {
+            return 1.0;
+        }
+        self.touched_ospa_bytes() as f64 / used as f64
+    }
+
+    fn mpa_used_bytes(&self) -> u64 {
+        self.alloc.used_bytes() + self.pages.len() as u64 * 64
+    }
+
+    fn touched_ospa_bytes(&self) -> u64 {
+        self.pages.len() as u64 * PAGE_BYTES as u64
+    }
+}

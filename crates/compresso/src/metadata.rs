@@ -1,0 +1,290 @@
+//! Per-OSPA-page metadata (Fig. 3).
+//!
+//! Compresso keeps one 64 B metadata entry per OSPA page in dedicated MPA
+//! space (1.6% storage overhead). An entry holds: control flags, the page
+//! size, tracked free space, up to 8 machine page-frame numbers (MPFNs) of
+//! 512 B chunks, 2-bit encoded sizes for all 64 lines, and 17 six-bit
+//! inflation pointers plus a count.
+
+use compresso_compression::{BinSet, SizeBin};
+
+/// Lines per 4 KB OSPA page.
+pub const LINES_PER_PAGE: usize = 64;
+/// Size of a metadata entry in bytes.
+pub const METADATA_ENTRY_BYTES: u64 = 64;
+/// MPA chunk granularity.
+pub const CHUNK_BYTES: u32 = 512;
+/// OSPA page size.
+pub const PAGE_BYTES: u32 = 4096;
+
+/// Where a line lives within its page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineLocation {
+    /// All-zero line: no storage, served from metadata.
+    Zero,
+    /// Packed in the data region at `offset` with `size` bytes.
+    Packed {
+        /// Byte offset within the logical page.
+        offset: u32,
+        /// Stored (binned) size in bytes.
+        size: u32,
+    },
+    /// Stored uncompressed in the inflation room.
+    Inflated {
+        /// Byte offset within the logical page (64 B aligned).
+        offset: u32,
+    },
+}
+
+/// One page's metadata entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageMeta {
+    /// Entry maps an OSPA page that has been touched.
+    pub valid: bool,
+    /// Page is all zeros (no MPA storage at all).
+    pub zero: bool,
+    /// Page data is stored compressed; `false` means raw 4 KB.
+    pub compressed: bool,
+    /// Current MPA allocation in bytes (multiple of 512, or 0).
+    pub page_bytes: u32,
+    /// Chunk frame numbers backing this page (each covers 512 B of the
+    /// logical page, in order).
+    pub chunks: Vec<u32>,
+    /// Per-line size-bin index (into the device's [`BinSet`]).
+    pub line_bins: [u8; LINES_PER_PAGE],
+    /// Line indices currently held in the inflation room, in placement
+    /// order (index 0 is deepest, at the very end of the page).
+    pub inflated: Vec<u8>,
+}
+
+impl Default for PageMeta {
+    fn default() -> Self {
+        Self::invalid()
+    }
+}
+
+impl PageMeta {
+    /// An invalid (untouched / ballooned-out) page.
+    pub fn invalid() -> Self {
+        Self {
+            valid: false,
+            zero: false,
+            compressed: true,
+            page_bytes: 0,
+            chunks: Vec::new(),
+            line_bins: [0; LINES_PER_PAGE],
+            inflated: Vec::new(),
+        }
+    }
+
+    /// A valid all-zero page (the state of a freshly touched page).
+    pub fn zero_page() -> Self {
+        Self { valid: true, zero: true, ..Self::invalid() }
+    }
+
+    /// Bytes of the data region (sum of binned line sizes).
+    pub fn data_bytes(&self, bins: &BinSet) -> u32 {
+        if !self.compressed {
+            return PAGE_BYTES;
+        }
+        self.line_bins.iter().map(|&b| bins.bin(b).bytes as u32).sum()
+    }
+
+    /// Bytes actually used: data region plus 64 B per inflated line.
+    pub fn used_bytes(&self, bins: &BinSet) -> u32 {
+        self.data_bytes(bins) + 64 * self.inflated.len() as u32
+    }
+
+    /// Free bytes within the current allocation (the "free space" field
+    /// the paper tracks for repacking decisions).
+    pub fn free_bytes(&self, bins: &BinSet) -> u32 {
+        self.page_bytes.saturating_sub(self.used_bytes(bins))
+    }
+
+    /// Locates `line` within the page.
+    ///
+    /// Inflated lines live at the end of the allocation: the i-th entry of
+    /// `inflated` occupies `[page_bytes − 64·(i+1), page_bytes − 64·i)`.
+    /// Packed lines are grouped by size bin, largest bins first, and
+    /// ordered by line number within a group; the offset is a sum over
+    /// the 2-bit size codes, computable by the §VII-E adder circuit.
+    ///
+    /// Grouping is what makes the alignment-friendly bins pay off: with
+    /// sizes {8, 32, 64} every group starts at a multiple of its size, so
+    /// no packed line ever straddles a 64 B boundary — whereas the legacy
+    /// {22, 44} sizes split regardless of ordering (§IV-B1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line >= 64`.
+    pub fn locate(&self, line: usize, bins: &BinSet) -> LineLocation {
+        assert!(line < LINES_PER_PAGE, "line index out of range");
+        if self.zero {
+            return LineLocation::Zero;
+        }
+        if !self.compressed {
+            return LineLocation::Packed { offset: line as u32 * 64, size: 64 };
+        }
+        if let Some(pos) = self.inflated.iter().position(|&l| l as usize == line) {
+            let offset = self.page_bytes - 64 * (pos as u32 + 1);
+            return LineLocation::Inflated { offset };
+        }
+        let my_bin = self.line_bins[line];
+        let size = bins.bin(my_bin).bytes as u32;
+        if size == 0 {
+            return LineLocation::Zero;
+        }
+        let mut offset = 0u32;
+        // Larger bins come first.
+        for (i, &b) in self.line_bins.iter().enumerate() {
+            let larger = b > my_bin;
+            let same_before = b == my_bin && i < line;
+            if larger || same_before {
+                offset += bins.bin(b).bytes as u32;
+            }
+        }
+        LineLocation::Packed { offset, size }
+    }
+
+    /// The bin currently recorded for `line`.
+    pub fn bin_of(&self, line: usize, bins: &BinSet) -> SizeBin {
+        bins.bin(self.line_bins[line])
+    }
+
+    /// Whether `line` is in the inflation room.
+    pub fn is_inflated(&self, line: usize) -> bool {
+        self.inflated.iter().any(|&l| l as usize == line)
+    }
+
+    /// The encoded size of this entry in bits, given `bins` (checked
+    /// against the 64 B budget in tests).
+    pub fn encoded_bits(bins: &BinSet) -> u32 {
+        let control = 4; // valid, zero, compressed, spare
+        let page_size = 3; // 8 page sizes
+        let free_space = 12;
+        let mpfns = 8 * 24; // 24-bit chunk frame numbers (8 GB / 512 B)
+        let line_codes = 64 * bins.code_bits();
+        let inflation = 17 * 6 + 6;
+        control + page_size + free_space + mpfns + line_codes + inflation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compresso_compression::BinSet;
+
+    #[test]
+    fn entry_fits_in_64_bytes() {
+        // Fig. 3: with 4 bins (2-bit codes) the entry must fit in 64 B;
+        // with 8 bins (3-bit codes) it still must (§IV-A1 notes the cost).
+        assert!(PageMeta::encoded_bits(&BinSet::aligned4()) <= 512);
+        assert!(PageMeta::encoded_bits(&BinSet::eight()) <= 512);
+    }
+
+    #[test]
+    fn zero_page_has_no_storage() {
+        let bins = BinSet::aligned4();
+        let p = PageMeta::zero_page();
+        assert!(p.valid && p.zero);
+        assert_eq!(p.used_bytes(&bins), 0);
+        assert_eq!(p.locate(0, &bins), LineLocation::Zero);
+        assert_eq!(p.locate(63, &bins), LineLocation::Zero);
+    }
+
+    #[test]
+    fn uncompressed_page_is_identity_layout() {
+        let bins = BinSet::aligned4();
+        let p = PageMeta {
+            valid: true,
+            compressed: false,
+            page_bytes: 4096,
+            ..PageMeta::invalid()
+        };
+        assert_eq!(p.locate(5, &bins), LineLocation::Packed { offset: 320, size: 64 });
+        assert_eq!(p.data_bytes(&bins), 4096);
+    }
+
+    #[test]
+    fn packed_offsets_group_by_descending_bin() {
+        let bins = BinSet::aligned4();
+        let mut p = PageMeta { valid: true, page_bytes: 1024, ..PageMeta::invalid() };
+        // bins: index 1 = 8B, index 2 = 32B.
+        p.line_bins[0] = 1; // 8
+        p.line_bins[1] = 2; // 32 — largest group comes first
+        p.line_bins[2] = 0; // zero line
+        p.line_bins[3] = 1; // 8
+        assert_eq!(p.locate(1, &bins), LineLocation::Packed { offset: 0, size: 32 });
+        assert_eq!(p.locate(0, &bins), LineLocation::Packed { offset: 32, size: 8 });
+        assert_eq!(p.locate(2, &bins), LineLocation::Zero);
+        assert_eq!(p.locate(3, &bins), LineLocation::Packed { offset: 40, size: 8 });
+        assert_eq!(p.data_bytes(&bins), 48);
+    }
+
+    #[test]
+    fn aligned_bins_with_grouping_never_split() {
+        // §IV-B1: with sizes {8, 32, 64} and grouped packing, no packed
+        // line straddles a 64 B boundary.
+        let bins = BinSet::aligned4();
+        let mut p = PageMeta { valid: true, page_bytes: 4096, ..PageMeta::invalid() };
+        for (i, bin) in p.line_bins.iter_mut().enumerate() {
+            *bin = match i % 4 {
+                0 => 3, // 64
+                1 => 2, // 32
+                2 => 1, // 8
+                _ => 0, // zero
+            };
+        }
+        for line in 0..LINES_PER_PAGE {
+            if let LineLocation::Packed { offset, size } = p.locate(line, &bins) {
+                assert!(
+                    !compresso_compression::bins::is_split_access(offset as usize, size as usize),
+                    "line {line} at {offset}+{size} splits"
+                );
+            }
+        }
+        // The legacy bins split even with grouping.
+        let legacy = BinSet::legacy4();
+        let splits = (0..LINES_PER_PAGE)
+            .filter(|&line| match p.locate(line, &legacy) {
+                LineLocation::Packed { offset, size } => {
+                    compresso_compression::bins::is_split_access(offset as usize, size as usize)
+                }
+                _ => false,
+            })
+            .count();
+        assert!(splits > 0, "legacy bins must still split");
+    }
+
+    #[test]
+    fn inflated_lines_sit_at_page_end() {
+        let bins = BinSet::aligned4();
+        let mut p = PageMeta { valid: true, page_bytes: 1024, ..PageMeta::invalid() };
+        p.line_bins[7] = 1;
+        p.inflated = vec![7, 9];
+        assert_eq!(p.locate(7, &bins), LineLocation::Inflated { offset: 1024 - 64 });
+        assert_eq!(p.locate(9, &bins), LineLocation::Inflated { offset: 1024 - 128 });
+        assert!(p.is_inflated(7));
+        assert!(!p.is_inflated(8));
+        // Inflated lines cost 64 B each in used_bytes.
+        assert_eq!(p.used_bytes(&bins), 8 + 128);
+    }
+
+    #[test]
+    fn free_space_tracking() {
+        let bins = BinSet::aligned4();
+        let mut p = PageMeta { valid: true, page_bytes: 512, ..PageMeta::invalid() };
+        for i in 0..8 {
+            p.line_bins[i] = 2; // 8 lines * 32B = 256B
+        }
+        assert_eq!(p.free_bytes(&bins), 256);
+        p.inflated = vec![20];
+        assert_eq!(p.free_bytes(&bins), 192);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn locate_rejects_bad_line() {
+        let _ = PageMeta::zero_page().locate(64, &BinSet::aligned4());
+    }
+}

@@ -1,0 +1,233 @@
+//! Bit-exact serialization of a metadata entry into its 64 B DRAM format
+//! (Fig. 3).
+//!
+//! The in-memory [`PageMeta`] is a convenient struct; what actually sits
+//! in the dedicated MPA metadata region is a packed 512-bit record:
+//!
+//! | field | bits |
+//! |---|---|
+//! | valid, zero, compressed, spare | 4 |
+//! | page size (number of 512 B chunks, 0–8) | 4 |
+//! | free space (bytes, for repack decisions) | 12 |
+//! | 8 × MPFN (24-bit chunk frame numbers) | 192 |
+//! | 64 × 2-bit line-size codes | 128 |
+//! | inflation count | 6 |
+//! | 17 × 6-bit inflation pointers | 102 |
+//! | padding to 512 | 64 |
+//!
+//! The first 32 bytes hold the control word and MPFNs — everything an
+//! *uncompressed* page needs — which is precisely why the §IV-B5
+//! half-entry metadata-cache optimization works.
+
+use crate::metadata::{PageMeta, LINES_PER_PAGE};
+use compresso_compression::{BinSet, BitReader, BitWriter};
+
+/// Size of the packed entry.
+pub const PACKED_BYTES: usize = 64;
+
+/// Error decoding a packed metadata entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeMetadataError {
+    /// The chunk count field exceeds 8.
+    BadChunkCount(u8),
+    /// The inflation count exceeds 17.
+    BadInflationCount(u8),
+    /// A line-size code exceeds the bin set.
+    BadLineCode(u8),
+}
+
+impl std::fmt::Display for DecodeMetadataError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeMetadataError::BadChunkCount(n) => write!(f, "invalid chunk count {n}"),
+            DecodeMetadataError::BadInflationCount(n) => {
+                write!(f, "invalid inflation count {n}")
+            }
+            DecodeMetadataError::BadLineCode(c) => write!(f, "invalid line-size code {c}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeMetadataError {}
+
+/// Packs `meta` into its 64 B DRAM representation.
+///
+/// # Panics
+///
+/// Panics if the entry violates hardware limits (more than 8 chunks, more
+/// than 17 inflated lines, a chunk frame number above 2^24, or free space
+/// above 4 KB) — such an entry cannot exist in a correct controller.
+pub fn encode(meta: &PageMeta, bins: &BinSet) -> [u8; PACKED_BYTES] {
+    assert!(meta.chunks.len() <= 8, "at most 8 chunks per page");
+    assert!(meta.inflated.len() <= 17, "at most 17 inflation pointers");
+    let mut w = BitWriter::new();
+    w.write_bit(meta.valid);
+    w.write_bit(meta.zero);
+    w.write_bit(meta.compressed);
+    w.write_bit(false); // spare
+    w.write(meta.chunks.len() as u64, 4);
+    let free = meta.free_bytes(bins).min(4095);
+    w.write(free as u64, 12);
+    for i in 0..8 {
+        let mpfn = meta.chunks.get(i).copied().unwrap_or(0);
+        assert!(mpfn < (1 << 24), "MPFN must fit 24 bits");
+        w.write(mpfn as u64, 24);
+    }
+    for &code in meta.line_bins.iter() {
+        assert!((code as usize) < bins.len(), "line code within bin set");
+        w.write(code as u64, 2);
+    }
+    w.write(meta.inflated.len() as u64, 6);
+    for i in 0..17 {
+        let line = meta.inflated.get(i).copied().unwrap_or(0);
+        w.write(line as u64, 6);
+    }
+    let (bytes, bit_len) = w.into_parts();
+    assert!(bit_len <= PACKED_BYTES * 8, "entry must fit 64 bytes");
+    let mut out = [0u8; PACKED_BYTES];
+    out[..bytes.len()].copy_from_slice(&bytes);
+    out
+}
+
+/// Unpacks a 64 B metadata record.
+///
+/// `page_bytes` is reconstructed from the chunk count (chunks × 512 B).
+///
+/// # Errors
+///
+/// Returns a [`DecodeMetadataError`] if any field is out of range
+/// (corrupted metadata).
+pub fn decode(packed: &[u8; PACKED_BYTES], bins: &BinSet) -> Result<PageMeta, DecodeMetadataError> {
+    let mut r = BitReader::new(packed);
+    let valid = r.read_bit();
+    let zero = r.read_bit();
+    let compressed = r.read_bit();
+    let _spare = r.read_bit();
+    let chunk_count = r.read(4) as u8;
+    if chunk_count > 8 {
+        return Err(DecodeMetadataError::BadChunkCount(chunk_count));
+    }
+    let _free = r.read(12);
+    let mut chunks = Vec::with_capacity(chunk_count as usize);
+    for i in 0..8 {
+        let mpfn = r.read(24) as u32;
+        if i < chunk_count as usize {
+            chunks.push(mpfn);
+        }
+    }
+    let mut line_bins = [0u8; LINES_PER_PAGE];
+    for code in line_bins.iter_mut() {
+        let c = r.read(2) as u8;
+        if (c as usize) >= bins.len() {
+            return Err(DecodeMetadataError::BadLineCode(c));
+        }
+        *code = c;
+    }
+    let inflation_count = r.read(6) as u8;
+    if inflation_count > 17 {
+        return Err(DecodeMetadataError::BadInflationCount(inflation_count));
+    }
+    let mut inflated = Vec::with_capacity(inflation_count as usize);
+    for i in 0..17 {
+        let line = r.read(6) as u8;
+        if i < inflation_count as usize {
+            inflated.push(line);
+        }
+    }
+    Ok(PageMeta {
+        valid,
+        zero,
+        compressed,
+        page_bytes: chunk_count as u32 * 512,
+        chunks,
+        line_bins,
+        inflated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compresso_compression::BinSet;
+
+    fn sample() -> PageMeta {
+        let mut m = PageMeta {
+            valid: true,
+            zero: false,
+            compressed: true,
+            page_bytes: 1536,
+            chunks: vec![100, 2000, 16_000_000],
+            line_bins: [0; LINES_PER_PAGE],
+            inflated: vec![5, 63, 0],
+        };
+        for (i, b) in m.line_bins.iter_mut().enumerate() {
+            *b = (i % 4) as u8;
+        }
+        m
+    }
+
+    #[test]
+    fn roundtrip() {
+        let bins = BinSet::aligned4();
+        let m = sample();
+        let packed = encode(&m, &bins);
+        let decoded = decode(&packed, &bins).expect("valid entry");
+        assert_eq!(decoded, m);
+    }
+
+    #[test]
+    fn zero_page_roundtrip() {
+        let bins = BinSet::aligned4();
+        let m = PageMeta::zero_page();
+        let decoded = decode(&encode(&m, &bins), &bins).expect("valid entry");
+        assert_eq!(decoded, m);
+    }
+
+    #[test]
+    fn invalid_entry_roundtrip() {
+        let bins = BinSet::aligned4();
+        let m = PageMeta::invalid();
+        let decoded = decode(&encode(&m, &bins), &bins).expect("valid entry");
+        assert_eq!(decoded, m);
+    }
+
+    #[test]
+    fn control_and_mpfns_fit_the_first_32_bytes() {
+        // The §IV-B5 half-entry claim: everything an uncompressed page
+        // needs (control + 8 MPFNs) lives in bits [0, 212) < 256.
+        let control_and_mpfn_bits = 4 + 4 + 12 + 8 * 24;
+        assert!(control_and_mpfn_bits <= 32 * 8);
+    }
+
+    #[test]
+    fn corrupted_chunk_count_is_rejected() {
+        let bins = BinSet::aligned4();
+        let mut packed = encode(&sample(), &bins);
+        packed[0] |= 0x0F; // force the 4-bit chunk count to 15
+        assert!(matches!(
+            decode(&packed, &bins),
+            Err(DecodeMetadataError::BadChunkCount(_))
+        ));
+    }
+
+    #[test]
+    fn max_sized_entry_fits() {
+        let bins = BinSet::aligned4();
+        let mut m = sample();
+        m.chunks = (0..8).map(|i| (1 << 24) - 1 - i).collect();
+        m.inflated = (0..17).map(|i| i as u8 * 3).collect();
+        m.line_bins = [3; LINES_PER_PAGE];
+        m.page_bytes = 4096;
+        let decoded = decode(&encode(&m, &bins), &bins).expect("valid entry");
+        assert_eq!(decoded, m);
+    }
+
+    #[test]
+    #[should_panic(expected = "24 bits")]
+    fn oversized_mpfn_panics() {
+        let bins = BinSet::aligned4();
+        let mut m = sample();
+        m.chunks = vec![1 << 24];
+        let _ = encode(&m, &bins);
+    }
+}

@@ -1,0 +1,159 @@
+//! Event taxonomy for compressed-memory devices.
+//!
+//! The paper's data-movement analysis (Fig. 4, Fig. 6) classifies every
+//! DRAM access a compressed system performs beyond what an uncompressed
+//! system would: split-access line reads, overflow handling (line/page
+//! overflows, inflation-room traffic, repacking), and metadata accesses.
+
+/// Counters shared by all [`crate::MemoryDevice`] implementations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// OSPA cache-line fills requested by the LLC.
+    pub demand_fills: u64,
+    /// OSPA writebacks from the LLC.
+    pub demand_writebacks: u64,
+
+    /// DRAM bursts for demand data (the uncompressed system would also
+    /// perform these, one per fill/writeback).
+    pub data_accesses: u64,
+    /// Extra DRAM bursts because a compressed line straddled a 64 B
+    /// boundary (§IV, source i).
+    pub split_access_extra: u64,
+    /// Extra DRAM bursts handling line/page overflows, inflation-room
+    /// placement and expansion (§IV, source ii).
+    pub overflow_extra: u64,
+    /// Extra DRAM bursts from repacking pages (Compresso only).
+    pub repack_extra: u64,
+    /// DRAM bursts for metadata (§IV, source iii: metadata-cache misses
+    /// and dirty metadata evictions).
+    pub metadata_accesses: u64,
+
+    /// Metadata cache hits / misses.
+    pub mcache_hits: u64,
+    /// Metadata cache misses.
+    pub mcache_misses: u64,
+
+    /// Cache-line overflows (compressibility decreased on writeback).
+    pub line_overflows: u64,
+    /// Cache-line underflows (compressibility increased).
+    pub line_underflows: u64,
+    /// Page overflows (page no longer fits its allocation).
+    pub page_overflows: u64,
+    /// Dynamic inflation-room expansions (Compresso §IV-B3).
+    pub ir_expansions: u64,
+    /// Lines placed in an inflation room.
+    pub ir_placements: u64,
+    /// Dynamic repacks performed (Compresso §IV-B4).
+    pub repacks: u64,
+    /// Pages stored uncompressed by the overflow predictor (§IV-B2).
+    pub predictor_inflations: u64,
+
+    /// Fills of all-zero lines served from metadata alone.
+    pub zero_fills: u64,
+    /// Writebacks of all-zero lines absorbed by metadata alone.
+    pub zero_writebacks: u64,
+    /// Fills served from the compressed-burst prefetch buffer
+    /// ("free prefetch", §VII-A).
+    pub prefetch_hits: u64,
+}
+
+impl DeviceStats {
+    /// Total DRAM bursts this device performed.
+    pub fn total_accesses(&self) -> u64 {
+        self.data_accesses
+            + self.split_access_extra
+            + self.overflow_extra
+            + self.repack_extra
+            + self.metadata_accesses
+    }
+
+    /// DRAM bursts the *uncompressed* system would have performed for the
+    /// same demand stream (one per fill + one per writeback).
+    pub fn baseline_accesses(&self) -> u64 {
+        self.demand_fills + self.demand_writebacks
+    }
+
+    /// Compression-related extra accesses relative to the uncompressed
+    /// baseline — the Fig. 4 / Fig. 6 metric. May be negative when
+    /// zero-line and prefetch savings outweigh the overheads.
+    pub fn relative_extra_accesses(&self) -> f64 {
+        let base = self.baseline_accesses();
+        if base == 0 {
+            return 0.0;
+        }
+        (self.total_accesses() as f64 - base as f64) / base as f64
+    }
+
+    /// Breakdown of extra accesses by source, relative to baseline:
+    /// `(split, overflow-related, metadata)`.
+    pub fn extra_breakdown(&self) -> (f64, f64, f64) {
+        let base = self.baseline_accesses().max(1) as f64;
+        (
+            self.split_access_extra as f64 / base,
+            (self.overflow_extra + self.repack_extra) as f64 / base,
+            self.metadata_accesses as f64 / base,
+        )
+    }
+
+    /// Metadata cache hit rate in [0, 1].
+    pub fn mcache_hit_rate(&self) -> f64 {
+        let total = self.mcache_hits + self.mcache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.mcache_hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_relative_extras() {
+        let s = DeviceStats {
+            demand_fills: 80,
+            demand_writebacks: 20,
+            data_accesses: 100,
+            split_access_extra: 10,
+            overflow_extra: 5,
+            repack_extra: 2,
+            metadata_accesses: 13,
+            ..Default::default()
+        };
+        assert_eq!(s.baseline_accesses(), 100);
+        assert_eq!(s.total_accesses(), 130);
+        assert!((s.relative_extra_accesses() - 0.30).abs() < 1e-9);
+        let (split, ovf, meta) = s.extra_breakdown();
+        assert!((split - 0.10).abs() < 1e-9);
+        assert!((ovf - 0.07).abs() < 1e-9);
+        assert!((meta - 0.13).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_activity_is_zero() {
+        let s = DeviceStats::default();
+        assert_eq!(s.total_accesses(), 0);
+        assert_eq!(s.relative_extra_accesses(), 0.0);
+        assert_eq!(s.mcache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn savings_can_go_negative() {
+        // Zero lines: fewer accesses than baseline.
+        let s = DeviceStats {
+            demand_fills: 100,
+            data_accesses: 60,
+            zero_fills: 40,
+            ..Default::default()
+        };
+        assert!(s.relative_extra_accesses() < 0.0);
+    }
+
+    #[test]
+    fn mcache_hit_rate_math() {
+        let s = DeviceStats { mcache_hits: 75, mcache_misses: 25, ..Default::default() };
+        assert!((s.mcache_hit_rate() - 0.75).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests on Compresso's core data structures.
+
+use compresso_compression::{bins::is_split_access, BinSet};
+use compresso_core::{
+    decode_metadata, encode_metadata, lcp_plan, LineLocation, MetadataCache, PageMeta,
+    LINES_PER_PAGE,
+};
+use proptest::prelude::*;
+
+fn arb_meta() -> impl Strategy<Value = PageMeta> {
+    (
+        prop::array::uniform32(0u8..4),
+        prop::array::uniform32(0u8..4),
+        prop::collection::vec(0u32..(1 << 24), 0..=8),
+        prop::collection::vec(0u8..64, 0..=17),
+        any::<bool>(),
+    )
+        .prop_map(|(a, b, chunks, mut inflated, compressed)| {
+            let mut line_bins = [0u8; LINES_PER_PAGE];
+            line_bins[..32].copy_from_slice(&a);
+            line_bins[32..].copy_from_slice(&b);
+            inflated.sort_unstable();
+            inflated.dedup();
+            let page_bytes = chunks.len() as u32 * 512;
+            PageMeta {
+                valid: true,
+                zero: false,
+                compressed,
+                page_bytes,
+                chunks,
+                line_bins,
+                inflated,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn metadata_codec_roundtrips(meta in arb_meta()) {
+        let bins = BinSet::aligned4();
+        let packed = encode_metadata(&meta, &bins);
+        let decoded = decode_metadata(&packed, &bins).expect("valid entry");
+        prop_assert_eq!(decoded, meta);
+    }
+
+    #[test]
+    fn packed_lines_never_overlap(meta in arb_meta()) {
+        // For a compressed page with no inflated lines, every packed
+        // line's byte range must be disjoint from every other's.
+        let bins = BinSet::aligned4();
+        let mut meta = meta;
+        meta.compressed = true;
+        meta.inflated.clear();
+        meta.page_bytes = 4096;
+        let mut ranges: Vec<(u32, u32)> = Vec::new();
+        for line in 0..LINES_PER_PAGE {
+            if let LineLocation::Packed { offset, size } = meta.locate(line, &bins) {
+                ranges.push((offset, offset + size));
+            }
+        }
+        ranges.sort_unstable();
+        for pair in ranges.windows(2) {
+            prop_assert!(pair[0].1 <= pair[1].0, "overlap: {:?}", pair);
+        }
+        // And the layout fits the data region.
+        if let Some(&(_, end)) = ranges.last() {
+            prop_assert!(end <= meta.data_bytes(&bins));
+        }
+    }
+
+    #[test]
+    fn aligned_packed_lines_never_split(meta in arb_meta()) {
+        let bins = BinSet::aligned4();
+        let mut meta = meta;
+        meta.compressed = true;
+        meta.inflated.clear();
+        for line in 0..LINES_PER_PAGE {
+            if let LineLocation::Packed { offset, size } = meta.locate(line, &bins) {
+                if size < 64 {
+                    prop_assert!(
+                        !is_split_access(offset as usize, size as usize),
+                        "aligned bins must not split: line {line} at {offset}+{size}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inflated_lines_sit_in_distinct_aligned_slots(meta in arb_meta()) {
+        let bins = BinSet::aligned4();
+        let mut meta = meta;
+        meta.compressed = true;
+        meta.page_bytes = 4096;
+        let mut offsets = Vec::new();
+        for &line in meta.inflated.clone().iter() {
+            if let LineLocation::Inflated { offset } = meta.locate(line as usize, &bins) {
+                prop_assert_eq!(offset % 64, 0, "IR slots are 64B aligned");
+                offsets.push(offset);
+            }
+        }
+        offsets.sort_unstable();
+        offsets.dedup();
+        prop_assert_eq!(offsets.len(), meta.inflated.len());
+    }
+
+    #[test]
+    fn lcp_plan_covers_all_sizes(sizes in prop::collection::vec(0usize..=64, 64)) {
+        let bins = BinSet::aligned4();
+        let plan = lcp_plan(&sizes, &bins);
+        for (i, &s) in sizes.iter().enumerate() {
+            if plan.target == 0 {
+                prop_assert_eq!(s, 0);
+                continue;
+            }
+            let (_, slot) = plan.offset_of(i).expect("nonzero target");
+            // Every line fits its slot: either it compresses to the
+            // target, or it is an exception with a 64B slot.
+            prop_assert!(s as u32 <= slot, "line {i}: size {s} > slot {slot}");
+        }
+        // The plan never needs more than an uncompressed page plus full
+        // metadata-pointer capacity of exceptions.
+        prop_assert!(plan.needed_bytes <= 64 * 64 + 64 * 64);
+    }
+
+    #[test]
+    fn mcache_never_exceeds_budget(ops in prop::collection::vec((0u64..64, any::<bool>(), any::<bool>()), 1..300)) {
+        let mut mc = MetadataCache::new(8 * 64 * 4, true); // 4 sets
+        for (page, uncompressed, dirty) in ops {
+            mc.access(page, uncompressed, dirty);
+        }
+        // With half entries, at most 16 entries per set fit; 4 sets.
+        prop_assert!(mc.len() <= 64);
+    }
+}

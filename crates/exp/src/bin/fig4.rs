@@ -1,0 +1,36 @@
+//! Regenerates Fig. 4: extra compression-related memory traffic of the
+//! unoptimized compressed system.
+
+use compresso_exp::{movement, params_banner, pct, render_table, arg_usize};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let ops = arg_usize(&args, "--ops", 60_000);
+    println!("{}\n", params_banner());
+    println!("Fig. 4: relative extra memory accesses, unoptimized system ({} ops)\n", ops);
+
+    let rows = movement::fig4(ops);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.benchmark.clone(),
+                r.config.clone(),
+                pct(r.split),
+                pct(r.overflow),
+                pct(r.metadata),
+                pct(r.total),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["benchmark", "alloc", "split", "overflow", "metadata", "total-extra"],
+            &table
+        )
+    );
+    for (config, avg) in movement::averages(&rows) {
+        println!("average extra accesses [{config}]: {} (paper avg: 63%)", pct(avg));
+    }
+}

@@ -1,0 +1,27 @@
+//! Regenerates Fig. 9: SimPoint vs CompressPoint compressibility
+//! representativeness for GemsFDTD and astar.
+
+use compresso_exp::{f2, params_banner};
+use compresso_workloads::{benchmark, compresspoint, full_run, run_average_ratio, simpoint};
+
+fn main() {
+    println!("{}\n", params_banner());
+    println!("Fig. 9: compression ratio over a full run\n");
+    for (name, base) in [("GemsFDTD", 1.2), ("astar", 1.5)] {
+        let profile = benchmark(name).expect("paper benchmark");
+        let run = full_run(&profile, base, 64);
+        print!("{name}: ");
+        for iv in run.iter().step_by(4) {
+            print!("{} ", f2(iv.compression_ratio));
+        }
+        println!();
+        let sp = simpoint(&run);
+        let cp = compresspoint(&run);
+        let avg = run_average_ratio(&run);
+        println!(
+            "  run-average ratio {:.2}; SimPoint picks interval {} (ratio {:.2}); CompressPoint picks interval {} (ratio {:.2})\n",
+            avg, sp.index, sp.compression_ratio, cp.index, cp.compression_ratio
+        );
+    }
+    println!("(paper: SimPoint and CompressPoint differ by an order of magnitude for GemsFDTD)");
+}

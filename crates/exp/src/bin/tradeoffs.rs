@@ -1,0 +1,35 @@
+//! Regenerates the §IV-A1 trade-off studies.
+
+use compresso_exp::{f2, params_banner, render_table, tradeoffs, arg_usize};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let pages = arg_usize(&args, "--pages", 300);
+    let ops = arg_usize(&args, "--ops", 20_000);
+    println!("{}\n", params_banner());
+    println!("S IV-A1 trade-offs ({pages} pages, {ops} ops)\n");
+
+    for (title, rows) in [
+        ("Line-size bins (paper: 8 bins 1.82x vs 4 bins 1.59x; +17.5% line overflows)",
+         tradeoffs::line_bin_tradeoff(pages, ops)),
+        ("Page sizes (paper: 8 sizes 1.85x vs 4 sizes 1.59x; up to +53% resizing)",
+         tradeoffs::page_size_tradeoff(pages, ops)),
+    ] {
+        println!("{title}");
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.config.clone(),
+                    f2(r.avg_ratio),
+                    r.line_overflows.to_string(),
+                    r.page_overflows.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(&["config", "avg-ratio", "line-overflows", "page-overflows"], &table)
+        );
+    }
+}

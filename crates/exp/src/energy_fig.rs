@@ -1,0 +1,98 @@
+//! Fig. 12: DRAM and core energy relative to the uncompressed system.
+
+use crate::runner::{run_single, SystemKind};
+use compresso_energy::{evaluate, EnergyParams};
+use compresso_workloads::all_benchmarks;
+use serde::Serialize;
+
+/// Relative energies for one benchmark.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig12Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// DRAM energy of LCP relative to uncompressed.
+    pub dram_lcp: f64,
+    /// DRAM energy of LCP+Align relative to uncompressed.
+    pub dram_align: f64,
+    /// DRAM energy of Compresso relative to uncompressed.
+    pub dram_compresso: f64,
+    /// Core energy of Compresso relative to uncompressed (∝ runtime).
+    pub core_compresso: f64,
+}
+
+/// Evaluates one benchmark.
+pub fn energy_row(benchmark: &str, ops: usize) -> Fig12Row {
+    let profile = compresso_workloads::benchmark(benchmark).expect("known benchmark");
+    let params = EnergyParams::paper_default();
+    let mut dram = [0.0f64; 4];
+    let mut core = [0.0f64; 4];
+    for (i, system) in SystemKind::evaluated().iter().enumerate() {
+        let r = run_single(&profile, system, ops);
+        let e = evaluate(&r.device, &r.dram, r.cycles, &params);
+        dram[i] = e.dram_nj;
+        core[i] = e.core_nj;
+    }
+    Fig12Row {
+        benchmark: benchmark.to_string(),
+        dram_lcp: dram[1] / dram[0].max(1e-9),
+        dram_align: dram[2] / dram[0].max(1e-9),
+        dram_compresso: dram[3] / dram[0].max(1e-9),
+        core_compresso: core[3] / core[0].max(1e-9),
+    }
+}
+
+/// The full Fig. 12 sweep.
+pub fn fig12(ops: usize) -> Vec<Fig12Row> {
+    all_benchmarks().iter().map(|p| energy_row(p.name, ops)).collect()
+}
+
+/// Arithmetic averages over the rows (the paper's "Average" bar).
+pub fn average(rows: &[Fig12Row]) -> Fig12Row {
+    let n = rows.len().max(1) as f64;
+    Fig12Row {
+        benchmark: "Average".to_string(),
+        dram_lcp: rows.iter().map(|r| r.dram_lcp).sum::<f64>() / n,
+        dram_align: rows.iter().map(|r| r.dram_align).sum::<f64>() / n,
+        dram_compresso: rows.iter().map(|r| r.dram_compresso).sum::<f64>() / n,
+        core_compresso: rows.iter().map(|r| r.core_compresso).sum::<f64>() / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rich_benchmark_saves_dram_energy() {
+        // Lines served from metadata cost no DRAM event.
+        let r = energy_row("zeusmp", 6_000);
+        assert!(
+            r.dram_compresso < 1.05,
+            "zeusmp Compresso DRAM energy should not exceed baseline: {:.2}",
+            r.dram_compresso
+        );
+    }
+
+    #[test]
+    fn average_is_elementwise() {
+        let rows = vec![
+            Fig12Row {
+                benchmark: "a".into(),
+                dram_lcp: 1.0,
+                dram_align: 1.0,
+                dram_compresso: 0.8,
+                core_compresso: 1.0,
+            },
+            Fig12Row {
+                benchmark: "b".into(),
+                dram_lcp: 3.0,
+                dram_align: 2.0,
+                dram_compresso: 1.2,
+                core_compresso: 1.0,
+            },
+        ];
+        let avg = average(&rows);
+        assert!((avg.dram_lcp - 2.0).abs() < 1e-9);
+        assert!((avg.dram_compresso - 1.0).abs() < 1e-9);
+    }
+}

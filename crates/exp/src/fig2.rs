@@ -1,0 +1,179 @@
+//! Fig. 2: compression ratio of {BPC, BDI} × {LinePack, LCP-packing}.
+//!
+//! A static study over memory snapshots: for every page of every
+//! benchmark we compute per-line compressed sizes and lay the page out
+//! under both packing schemes. The paper's headline numbers: BPC with
+//! LinePack averages 1.85×; LCP-packing costs 13% with BPC but only 2.3%
+//! with BDI (because BPC produces more size-diverse lines).
+
+use compresso_compression::{Bdi, BinSet, Bpc, Compressor};
+use compresso_core::{lcp_plan, PageAllocation};
+use compresso_workloads::{all_benchmarks, BenchmarkProfile, DataWorld, PAGE_BYTES};
+use serde::Serialize;
+
+/// Ratios for one benchmark.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig2Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// BPC compressed, LinePack layout.
+    pub bpc_linepack: f64,
+    /// BPC compressed, LCP layout.
+    pub bpc_lcp: f64,
+    /// BDI compressed, LinePack layout.
+    pub bdi_linepack: f64,
+    /// BDI compressed, LCP layout.
+    pub bdi_lcp: f64,
+}
+
+fn page_bytes_linepack(sizes: &[usize], bins: &BinSet) -> u64 {
+    if sizes.iter().all(|&s| s == 0) {
+        return 0;
+    }
+    let data: u32 = sizes.iter().map(|&s| bins.quantize(s).bytes as u32).sum();
+    PageAllocation::Chunks512.fit(data.max(1)) as u64
+}
+
+fn page_bytes_lcp(sizes: &[usize], bins: &BinSet) -> u64 {
+    let plan = lcp_plan(sizes, bins);
+    if plan.needed_bytes == 0 {
+        return 0;
+    }
+    PageAllocation::Variable4.fit(plan.needed_bytes.clamp(1, 4096)) as u64
+}
+
+/// Computes the four ratios for one benchmark, sampling at most
+/// `max_pages` pages.
+pub fn ratios_for(profile: &BenchmarkProfile, max_pages: usize) -> Fig2Row {
+    let world = DataWorld::new(profile);
+    let bins = BinSet::aligned4();
+    let bpc = Bpc::new();
+    let bdi = Bdi::new();
+
+    let pages = profile.footprint_pages.min(max_pages) as u64;
+    let mut totals = [0u64; 4]; // bpc_lp, bpc_lcp, bdi_lp, bdi_lcp
+    for page in 0..pages {
+        let mut bpc_sizes = [0usize; 64];
+        let mut bdi_sizes = [0usize; 64];
+        for line in 0..64u64 {
+            let data = world.line_data(page * PAGE_BYTES + line * 64);
+            if compresso_compression::is_zero_line(&data) {
+                continue;
+            }
+            bpc_sizes[line as usize] = bpc.compressed_size(&data);
+            bdi_sizes[line as usize] = bdi.compressed_size(&data);
+        }
+        totals[0] += page_bytes_linepack(&bpc_sizes, &bins);
+        totals[1] += page_bytes_lcp(&bpc_sizes, &bins);
+        totals[2] += page_bytes_linepack(&bdi_sizes, &bins);
+        totals[3] += page_bytes_lcp(&bdi_sizes, &bins);
+    }
+    let ospa = pages * PAGE_BYTES;
+    let ratio = |mpa: u64| ospa as f64 / mpa.max(1) as f64;
+    Fig2Row {
+        benchmark: profile.name.to_string(),
+        bpc_linepack: ratio(totals[0]),
+        bpc_lcp: ratio(totals[1]),
+        bdi_linepack: ratio(totals[2]),
+        bdi_lcp: ratio(totals[3]),
+    }
+}
+
+/// Runs the full Fig. 2 study.
+pub fn fig2(max_pages: usize) -> Vec<Fig2Row> {
+    all_benchmarks().iter().map(|p| ratios_for(p, max_pages)).collect()
+}
+
+/// Arithmetic-mean summary row over benchmark ratios (the paper's
+/// "Average" bar).
+pub fn average(rows: &[Fig2Row]) -> Fig2Row {
+    let n = rows.len().max(1) as f64;
+    Fig2Row {
+        benchmark: "Average".to_string(),
+        bpc_linepack: rows.iter().map(|r| r.bpc_linepack).sum::<f64>() / n,
+        bpc_lcp: rows.iter().map(|r| r.bpc_lcp).sum::<f64>() / n,
+        bdi_linepack: rows.iter().map(|r| r.bdi_linepack).sum::<f64>() / n,
+        bdi_lcp: rows.iter().map(|r| r.bdi_lcp).sum::<f64>() / n,
+    }
+}
+
+/// The §II-A BPC-modification ablation: average ratio with the
+/// best-of-both-modes BPC versus transform-only BPC (paper: ~13% more
+/// memory saved).
+pub fn bpc_modification_gain(profile: &BenchmarkProfile, max_pages: usize) -> (f64, f64) {
+    let world = DataWorld::new(profile);
+    let bins = BinSet::aligned4();
+    let bpc = Bpc::new();
+    let pages = profile.footprint_pages.min(max_pages) as u64;
+    let (mut modified, mut baseline) = (0u64, 0u64);
+    for page in 0..pages {
+        let mut mod_sizes = [0usize; 64];
+        let mut base_sizes = [0usize; 64];
+        for line in 0..64u64 {
+            let data = world.line_data(page * PAGE_BYTES + line * 64);
+            if compresso_compression::is_zero_line(&data) {
+                continue;
+            }
+            mod_sizes[line as usize] = bpc.compress(&data).size_bytes();
+            base_sizes[line as usize] = bpc.compress_transform_only(&data).size_bytes();
+        }
+        modified += page_bytes_linepack(&mod_sizes, &bins);
+        baseline += page_bytes_linepack(&base_sizes, &bins);
+    }
+    let ospa = (pages * PAGE_BYTES) as f64;
+    (ospa / modified.max(1) as f64, ospa / baseline.max(1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compresso_workloads::benchmark;
+
+    #[test]
+    fn zeusmp_is_the_outlier() {
+        let r = ratios_for(&benchmark("zeusmp").unwrap(), 400);
+        assert!(r.bpc_linepack > 4.0, "zeusmp BPC+LinePack should be high: {:.2}", r.bpc_linepack);
+    }
+
+    #[test]
+    fn mcf_is_incompressible() {
+        let r = ratios_for(&benchmark("mcf").unwrap(), 400);
+        assert!(r.bpc_linepack < 1.5, "mcf: {:.2}", r.bpc_linepack);
+    }
+
+    #[test]
+    fn linepack_never_loses_to_lcp() {
+        for name in ["gcc", "omnetpp", "soplex", "Forestfire"] {
+            let r = ratios_for(&benchmark(name).unwrap(), 200);
+            assert!(
+                r.bpc_linepack >= r.bpc_lcp * 0.999,
+                "{name}: LinePack {:.2} vs LCP {:.2}",
+                r.bpc_linepack,
+                r.bpc_lcp
+            );
+        }
+    }
+
+    #[test]
+    fn lcp_costs_more_under_bpc_than_bdi() {
+        // The Fig. 2 asymmetry, over the benchmarks where BPC produces
+        // size-diverse lines.
+        let rows = ["gcc", "cactusADM", "libquantum", "Graph500", "Pagerank"]
+            .iter()
+            .map(|n| ratios_for(&benchmark(n).unwrap(), 200))
+            .collect::<Vec<_>>();
+        let avg = average(&rows);
+        let bpc_loss = 1.0 - avg.bpc_lcp / avg.bpc_linepack;
+        let bdi_loss = 1.0 - avg.bdi_lcp / avg.bdi_linepack;
+        assert!(
+            bpc_loss > bdi_loss,
+            "LCP must hurt BPC ({bpc_loss:.3}) more than BDI ({bdi_loss:.3})"
+        );
+    }
+
+    #[test]
+    fn modified_bpc_never_worse() {
+        let (modified, baseline) = bpc_modification_gain(&benchmark("perlbench").unwrap(), 100);
+        assert!(modified >= baseline * 0.999, "{modified:.3} vs {baseline:.3}");
+    }
+}

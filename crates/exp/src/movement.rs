@@ -1,0 +1,162 @@
+//! Fig. 4 and Fig. 6: compression-related data movement and the
+//! optimization ablation.
+
+use crate::runner::{run_single, SystemKind};
+use compresso_core::{CompressoConfig, PageAllocation};
+use compresso_workloads::all_benchmarks;
+use serde::Serialize;
+
+/// Extra-access breakdown for one benchmark under one configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct MovementRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Configuration label.
+    pub config: String,
+    /// Split-access extra accesses relative to baseline accesses.
+    pub split: f64,
+    /// Overflow-handling extras (incl. repack traffic).
+    pub overflow: f64,
+    /// Metadata accesses.
+    pub metadata: f64,
+    /// Total gross extra accesses (split + overflow + metadata) relative
+    /// to baseline accesses — the Fig. 4/6 metric. Zero-line and
+    /// prefetch *savings* are a separate (bandwidth) benefit and are not
+    /// netted out here, matching the paper.
+    pub total: f64,
+}
+
+fn movement_of(benchmark: &str, label: &'static str, cfg: CompressoConfig, ops: usize) -> MovementRow {
+    let profile = compresso_workloads::benchmark(benchmark).expect("known benchmark");
+    let r = run_single(&profile, &SystemKind::Custom(label, cfg), ops);
+    let (split, overflow, metadata) = r.device.extra_breakdown();
+    MovementRow {
+        benchmark: benchmark.to_string(),
+        config: label.to_string(),
+        split,
+        overflow,
+        metadata,
+        total: split + overflow + metadata,
+    }
+}
+
+/// Fig. 4: the unoptimized compressed system's extra accesses, for fixed
+/// 512 B chunks (left bars) and 4 variable-sized chunks (right bars).
+pub fn fig4(ops: usize) -> Vec<MovementRow> {
+    let mut rows = Vec::new();
+    for profile in all_benchmarks() {
+        rows.push(movement_of(
+            profile.name,
+            "fixed512",
+            CompressoConfig::unoptimized(PageAllocation::Chunks512),
+            ops,
+        ));
+        rows.push(movement_of(
+            profile.name,
+            "variable4",
+            CompressoConfig::unoptimized(PageAllocation::Variable4),
+            ops,
+        ));
+    }
+    rows
+}
+
+/// Fig. 6: extra accesses as the optimizations land cumulatively
+/// (ablation ladder), per benchmark.
+pub fn fig6(ops: usize) -> Vec<MovementRow> {
+    let ladder = CompressoConfig::ablation_ladder(PageAllocation::Chunks512);
+    let mut rows = Vec::new();
+    for profile in all_benchmarks() {
+        for (label, cfg) in &ladder {
+            rows.push(movement_of(profile.name, label, cfg.clone(), ops));
+        }
+    }
+    rows
+}
+
+/// Average total extra accesses per configuration label.
+pub fn averages(rows: &[MovementRow]) -> Vec<(String, f64)> {
+    let mut order: Vec<String> = Vec::new();
+    for r in rows {
+        if !order.contains(&r.config) {
+            order.push(r.config.clone());
+        }
+    }
+    order
+        .into_iter()
+        .map(|config| {
+            let values: Vec<f64> =
+                rows.iter().filter(|r| r.config == config).map(|r| r.total).collect();
+            let avg = values.iter().sum::<f64>() / values.len().max(1) as f64;
+            (config, avg)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_reduces_average_extra_accesses() {
+        // Small run over a handful of benchmarks: the full ladder must
+        // end lower than it starts.
+        let ladder = CompressoConfig::ablation_ladder(PageAllocation::Chunks512);
+        let first = &ladder[0];
+        let last = &ladder[ladder.len() - 1];
+        let mut base_total = 0.0;
+        let mut opt_total = 0.0;
+        for name in ["gcc", "libquantum", "soplex"] {
+            base_total += movement_of(name, first.0, first.1.clone(), 6_000).total;
+            opt_total += movement_of(name, last.0, last.1.clone(), 6_000).total;
+        }
+        assert!(
+            opt_total < base_total,
+            "optimizations must reduce movement: {opt_total:.3} vs {base_total:.3}"
+        );
+    }
+
+    #[test]
+    fn alignment_kills_splits() {
+        let legacy = movement_of(
+            "gcc",
+            "legacy",
+            CompressoConfig::unoptimized(PageAllocation::Chunks512),
+            5_000,
+        );
+        let mut aligned_cfg = CompressoConfig::unoptimized(PageAllocation::Chunks512);
+        aligned_cfg.bins = compresso_compression::BinSet::aligned4();
+        let aligned = movement_of("gcc", "aligned", aligned_cfg, 5_000);
+        assert!(
+            aligned.split < legacy.split * 0.5,
+            "aligned bins must slash splits: {:.3} vs {:.3}",
+            aligned.split,
+            legacy.split
+        );
+    }
+
+    #[test]
+    fn averages_group_by_config() {
+        let rows = vec![
+            MovementRow {
+                benchmark: "a".into(),
+                config: "x".into(),
+                split: 0.0,
+                overflow: 0.0,
+                metadata: 0.0,
+                total: 0.2,
+            },
+            MovementRow {
+                benchmark: "b".into(),
+                config: "x".into(),
+                split: 0.0,
+                overflow: 0.0,
+                metadata: 0.0,
+                total: 0.4,
+            },
+        ];
+        let avgs = averages(&rows);
+        assert_eq!(avgs.len(), 1);
+        assert!((avgs[0].1 - 0.3).abs() < 1e-9);
+    }
+}

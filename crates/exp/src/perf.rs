@@ -1,0 +1,285 @@
+//! Fig. 10 / Fig. 11 / Tab. II: the dual-simulation performance
+//! evaluation (§VI).
+//!
+//! Overall performance = cycle-based relative performance × memory-
+//! capacity relative performance, exactly as the paper combines them
+//! (§VI-F). Memory-capacity runs use a dynamic budget that follows each
+//! benchmark's compressibility vector (its profiling-stage phase trace
+//! anchored at the ratio measured in the cycle simulation).
+
+use crate::runner::{geomean, run_mix, run_single, RunResult, SystemKind};
+use compresso_oskit::{capacity_run, Budget};
+use compresso_workloads::{all_benchmarks, benchmark, full_run, BenchmarkProfile, MIXES};
+use serde::Serialize;
+
+/// Performance numbers for one workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct PerfRow {
+    /// Benchmark or mix name.
+    pub workload: String,
+    /// Cycle-based performance relative to uncompressed: LCP.
+    pub cycle_lcp: f64,
+    /// Cycle-based: LCP+Align.
+    pub cycle_align: f64,
+    /// Cycle-based: Compresso.
+    pub cycle_compresso: f64,
+    /// Memory-capacity relative performance: LCP.
+    pub memcap_lcp: f64,
+    /// Memory-capacity: Compresso.
+    pub memcap_compresso: f64,
+    /// Memory-capacity: unconstrained upper bound.
+    pub memcap_unconstrained: f64,
+    /// Whether the constrained baseline stalls (mcf/GemsFDTD/lbm at 70%).
+    pub stalled: bool,
+    /// Measured compression ratios (LCP, Compresso).
+    pub ratio_lcp: f64,
+    /// Compresso's measured compression ratio.
+    pub ratio_compresso: f64,
+}
+
+impl PerfRow {
+    /// Overall relative performance (cycle × capacity) for LCP.
+    pub fn overall_lcp(&self) -> f64 {
+        self.cycle_lcp * self.memcap_lcp
+    }
+
+    /// Overall for LCP+Align (memory-capacity side uses the LCP ratio, as
+    /// alignment does not change compression materially).
+    pub fn overall_align(&self) -> f64 {
+        self.cycle_align * self.memcap_lcp
+    }
+
+    /// Overall for Compresso.
+    pub fn overall_compresso(&self) -> f64 {
+        self.cycle_compresso * self.memcap_compresso
+    }
+}
+
+fn capacity_rel(profile: &BenchmarkProfile, fraction: f64, budget: &Budget, ops: usize) -> f64 {
+    let baseline = capacity_run(
+        profile,
+        &Budget::constrained(fraction, profile.footprint_pages),
+        ops,
+    );
+    let system = capacity_run(profile, budget, ops);
+    baseline.runtime_cycles as f64 / system.runtime_cycles.max(1) as f64
+}
+
+/// Evaluates one benchmark at a capacity `fraction` (0.7 for Fig. 10).
+pub fn perf_row(profile: &BenchmarkProfile, fraction: f64, cycle_ops: usize, cap_ops: usize) -> PerfRow {
+    let base = run_single(profile, &SystemKind::Uncompressed, cycle_ops);
+    let lcp = run_single(profile, &SystemKind::Lcp, cycle_ops);
+    let align = run_single(profile, &SystemKind::LcpAlign, cycle_ops);
+    let comp = run_single(profile, &SystemKind::Compresso, cycle_ops);
+
+    let rel = |r: &RunResult| base.cycles as f64 / r.cycles.max(1) as f64;
+
+    let footprint = profile.footprint_pages;
+    let ratios_lcp: Vec<f64> =
+        full_run(profile, lcp.ratio, 16).iter().map(|i| i.compression_ratio).collect();
+    let ratios_comp: Vec<f64> =
+        full_run(profile, comp.ratio, 16).iter().map(|i| i.compression_ratio).collect();
+
+    let baseline_run =
+        capacity_run(profile, &Budget::constrained(fraction, footprint), cap_ops);
+    PerfRow {
+        workload: profile.name.to_string(),
+        cycle_lcp: rel(&lcp),
+        cycle_align: rel(&align),
+        cycle_compresso: rel(&comp),
+        memcap_lcp: capacity_rel(
+            profile,
+            fraction,
+            &Budget::compressed(fraction, footprint, ratios_lcp),
+            cap_ops,
+        ),
+        memcap_compresso: capacity_rel(
+            profile,
+            fraction,
+            &Budget::compressed(fraction, footprint, ratios_comp),
+            cap_ops,
+        ),
+        memcap_unconstrained: capacity_rel(profile, fraction, &Budget::Unconstrained(0), cap_ops),
+        stalled: baseline_run.stalled(),
+        ratio_lcp: lcp.ratio,
+        ratio_compresso: comp.ratio,
+    }
+}
+
+/// Fig. 10: all 30 single-core benchmarks at 70% constrained memory.
+pub fn fig10(cycle_ops: usize, cap_ops: usize) -> Vec<PerfRow> {
+    all_benchmarks().iter().map(|p| perf_row(p, 0.7, cycle_ops, cap_ops)).collect()
+}
+
+/// Geomean summary (cycle, memcap, overall) excluding stalled workloads
+/// from the overall combination, as the paper does for Fig. 10b.
+#[derive(Debug, Clone, Serialize)]
+pub struct PerfSummary {
+    /// Geomean cycle-based relative performance (LCP, Align, Compresso).
+    pub cycle: (f64, f64, f64),
+    /// Geomean memory-capacity relative performance (LCP, Compresso,
+    /// unconstrained).
+    pub memcap: (f64, f64, f64),
+    /// Geomean overall (LCP, Align, Compresso), stalled excluded.
+    pub overall: (f64, f64, f64),
+}
+
+/// Summarizes a set of rows.
+pub fn summarize(rows: &[PerfRow]) -> PerfSummary {
+    let all = |f: fn(&PerfRow) -> f64| -> Vec<f64> { rows.iter().map(f).collect() };
+    let live: Vec<&PerfRow> = rows.iter().filter(|r| !r.stalled).collect();
+    let live_vals = |f: fn(&PerfRow) -> f64| -> Vec<f64> { live.iter().map(|r| f(r)).collect() };
+    PerfSummary {
+        cycle: (
+            geomean(&all(|r| r.cycle_lcp)),
+            geomean(&all(|r| r.cycle_align)),
+            geomean(&all(|r| r.cycle_compresso)),
+        ),
+        memcap: (
+            geomean(&live_vals(|r| r.memcap_lcp)),
+            geomean(&live_vals(|r| r.memcap_compresso)),
+            geomean(&live_vals(|r| r.memcap_unconstrained)),
+        ),
+        overall: (
+            geomean(&live_vals(|r| r.overall_lcp())),
+            geomean(&live_vals(|r| r.overall_align())),
+            geomean(&live_vals(|r| r.overall_compresso())),
+        ),
+    }
+}
+
+/// Fig. 11: the ten 4-core mixes.
+///
+/// The memory-capacity side averages per-benchmark relative performance
+/// (the paper's "average progress" metric); each benchmark's budget uses
+/// the mix device's measured ratio.
+pub fn fig11(cycle_ops: usize, cap_ops: usize) -> Vec<PerfRow> {
+    MIXES
+        .iter()
+        .map(|(name, benchmarks)| mix_row(name, *benchmarks, 0.7, cycle_ops, cap_ops))
+        .collect()
+}
+
+/// Evaluates one mix.
+pub fn mix_row(
+    name: &str,
+    benchmarks: [&str; 4],
+    fraction: f64,
+    cycle_ops: usize,
+    cap_ops: usize,
+) -> PerfRow {
+    let base = run_mix(name, benchmarks, &SystemKind::Uncompressed, cycle_ops);
+    let lcp = run_mix(name, benchmarks, &SystemKind::Lcp, cycle_ops);
+    let align = run_mix(name, benchmarks, &SystemKind::LcpAlign, cycle_ops);
+    let comp = run_mix(name, benchmarks, &SystemKind::Compresso, cycle_ops);
+    let rel = |r: &RunResult| base.cycles as f64 / r.cycles.max(1) as f64;
+
+    // Memory-capacity: average progress across the mix's benchmarks.
+    let mut memcap = [0.0f64; 3]; // lcp, compresso, unconstrained
+    for bench in benchmarks {
+        let profile = benchmark(bench).expect("known benchmark");
+        let footprint = profile.footprint_pages;
+        let ratios_lcp: Vec<f64> =
+            full_run(&profile, lcp.ratio, 16).iter().map(|i| i.compression_ratio).collect();
+        let ratios_comp: Vec<f64> =
+            full_run(&profile, comp.ratio, 16).iter().map(|i| i.compression_ratio).collect();
+        memcap[0] += capacity_rel(
+            &profile,
+            fraction,
+            &Budget::compressed(fraction, footprint, ratios_lcp),
+            cap_ops,
+        );
+        memcap[1] += capacity_rel(
+            &profile,
+            fraction,
+            &Budget::compressed(fraction, footprint, ratios_comp),
+            cap_ops,
+        );
+        memcap[2] += capacity_rel(&profile, fraction, &Budget::Unconstrained(0), cap_ops);
+    }
+    PerfRow {
+        workload: name.to_string(),
+        cycle_lcp: rel(&lcp),
+        cycle_align: rel(&align),
+        cycle_compresso: rel(&comp),
+        memcap_lcp: memcap[0] / 4.0,
+        memcap_compresso: memcap[1] / 4.0,
+        memcap_unconstrained: memcap[2] / 4.0,
+        // Mixes never fully stall: compressible co-runners free space.
+        stalled: false,
+        ratio_lcp: lcp.ratio,
+        ratio_compresso: comp.ratio,
+    }
+}
+
+/// Tab. II: geomean speedups at 80/70/60% constrained memory.
+#[derive(Debug, Clone, Serialize)]
+pub struct Tab2Row {
+    /// Memory constraint as a fraction of footprint.
+    pub fraction: f64,
+    /// (LCP, Compresso, unconstrained) single-core geomeans.
+    pub single_core: (f64, f64, f64),
+}
+
+/// Runs the Tab. II sweep on the single-core benchmark set.
+pub fn tab2(cycle_ops: usize, cap_ops: usize) -> Vec<Tab2Row> {
+    [0.8, 0.7, 0.6]
+        .iter()
+        .map(|&fraction| {
+            let rows: Vec<PerfRow> = all_benchmarks()
+                .iter()
+                .map(|p| perf_row(p, fraction, cycle_ops, cap_ops))
+                .collect();
+            let s = summarize(&rows);
+            Tab2Row { fraction, single_core: s.memcap }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perf_row_shapes_hold_for_a_compressible_benchmark() {
+        let p = benchmark("soplex").unwrap();
+        let row = perf_row(&p, 0.7, 4_000, 1_000_000);
+        // Capacity ordering: unconstrained >= Compresso >= 1-ish.
+        assert!(row.memcap_unconstrained >= row.memcap_compresso * 0.95);
+        assert!(row.memcap_compresso >= 0.95);
+        // Compresso's ratio should beat LCP's.
+        assert!(row.ratio_compresso >= row.ratio_lcp * 0.95);
+    }
+
+    #[test]
+    fn summary_excludes_stalled_from_overall() {
+        let rows = vec![
+            PerfRow {
+                workload: "live".into(),
+                cycle_lcp: 1.0,
+                cycle_align: 1.0,
+                cycle_compresso: 1.0,
+                memcap_lcp: 2.0,
+                memcap_compresso: 2.0,
+                memcap_unconstrained: 2.0,
+                stalled: false,
+                ratio_lcp: 1.5,
+                ratio_compresso: 1.8,
+            },
+            PerfRow {
+                workload: "stalled".into(),
+                cycle_lcp: 1.0,
+                cycle_align: 1.0,
+                cycle_compresso: 1.0,
+                memcap_lcp: 100.0,
+                memcap_compresso: 100.0,
+                memcap_unconstrained: 100.0,
+                stalled: true,
+                ratio_lcp: 1.0,
+                ratio_compresso: 1.0,
+            },
+        ];
+        let s = summarize(&rows);
+        assert!((s.overall.2 - 2.0).abs() < 1e-9, "stalled row must be excluded");
+    }
+}

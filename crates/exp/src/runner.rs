@@ -1,0 +1,198 @@
+//! Cycle-based simulation runners: one core or a 4-core mix, against any
+//! evaluated system.
+
+use compresso_cache_sim::{run_multicore, Core, CoreParams, Hierarchy, TraceOp};
+use compresso_core::{
+    CompressoConfig, CompressoDevice, LcpDevice, MemoryDevice, UncompressedDevice,
+};
+use compresso_mem_sim::MemStats;
+use compresso_core::DeviceStats;
+use compresso_workloads::{
+    benchmark, offset_trace, BenchmarkProfile, CombinedWorld, DataWorld, TraceGenerator,
+};
+use serde::Serialize;
+
+/// Which memory system to simulate.
+#[derive(Debug, Clone)]
+pub enum SystemKind {
+    /// The uncompressed baseline.
+    Uncompressed,
+    /// The competitive OS-aware LCP baseline.
+    Lcp,
+    /// LCP with alignment-friendly line sizes.
+    LcpAlign,
+    /// Full Compresso.
+    Compresso,
+    /// Compresso with a custom configuration (for ablations).
+    Custom(&'static str, CompressoConfig),
+}
+
+impl SystemKind {
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SystemKind::Uncompressed => "uncompressed",
+            SystemKind::Lcp => "LCP",
+            SystemKind::LcpAlign => "LCP+Align",
+            SystemKind::Compresso => "Compresso",
+            SystemKind::Custom(name, _) => name,
+        }
+    }
+
+    /// The four systems of Fig. 10/11, in presentation order.
+    pub fn evaluated() -> Vec<SystemKind> {
+        vec![
+            SystemKind::Uncompressed,
+            SystemKind::Lcp,
+            SystemKind::LcpAlign,
+            SystemKind::Compresso,
+        ]
+    }
+
+    fn build(&self, world: CombinedWorld) -> Box<dyn MemoryDevice> {
+        match self {
+            SystemKind::Uncompressed => Box::new(UncompressedDevice::new()),
+            SystemKind::Lcp => Box::new(LcpDevice::lcp(world)),
+            SystemKind::LcpAlign => Box::new(LcpDevice::lcp_align(world)),
+            SystemKind::Compresso => {
+                Box::new(CompressoDevice::new(CompressoConfig::compresso(), world))
+            }
+            SystemKind::Custom(_, cfg) => Box::new(CompressoDevice::new(cfg.clone(), world)),
+        }
+    }
+}
+
+/// One cycle-based simulation result.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunResult {
+    /// System label.
+    pub system: String,
+    /// Benchmark or mix name.
+    pub workload: String,
+    /// Cycles to complete the trace (max across cores for mixes).
+    pub cycles: u64,
+    /// Instructions retired (summed across cores).
+    pub instructions: u64,
+    /// Device event counters.
+    #[serde(skip)]
+    pub device: DeviceStats,
+    /// DRAM counters.
+    #[serde(skip)]
+    pub dram: MemStats,
+    /// Compression ratio at end of run.
+    pub ratio: f64,
+}
+
+impl RunResult {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.instructions as f64 / self.cycles.max(1) as f64
+    }
+}
+
+/// Runs one benchmark on one core (Tab. III single-core platform).
+pub fn run_single(profile: &BenchmarkProfile, system: &SystemKind, mem_ops: usize) -> RunResult {
+    let world = DataWorld::new(profile);
+    let mut generator = TraceGenerator::new(profile);
+    let trace = generator.generate(&world, mem_ops);
+    let mut device = system.build(CombinedWorld::new(vec![world]));
+
+    let mut core = Core::new(CoreParams::paper_default());
+    let mut hierarchy = Hierarchy::single_core();
+    let cycles = core.run(trace, &mut hierarchy, &mut device);
+    RunResult {
+        system: system.label().to_string(),
+        workload: profile.name.to_string(),
+        cycles,
+        instructions: core.stats().instructions,
+        device: *device.device_stats(),
+        dram: *device.dram_stats(),
+        ratio: device.compression_ratio(),
+    }
+}
+
+/// Runs a 4-benchmark mix on the 4-core shared-L3 platform.
+///
+/// # Panics
+///
+/// Panics if any benchmark name is unknown.
+pub fn run_mix(name: &str, benchmarks: [&str; 4], system: &SystemKind, mem_ops: usize) -> RunResult {
+    let mut worlds = Vec::new();
+    let mut traces: Vec<Vec<TraceOp>> = Vec::new();
+    for (core, bench) in benchmarks.iter().enumerate() {
+        let profile = benchmark(bench).unwrap_or_else(|| panic!("unknown benchmark {bench}"));
+        let world = DataWorld::new(&profile);
+        let mut generator = TraceGenerator::new(&profile);
+        let mut trace = generator.generate(&world, mem_ops);
+        offset_trace(&mut trace, core);
+        worlds.push(world);
+        traces.push(trace);
+    }
+    let mut device = system.build(CombinedWorld::new(worlds));
+    let result = run_multicore(traces, CoreParams::paper_default(), &mut device);
+    RunResult {
+        system: system.label().to_string(),
+        workload: name.to_string(),
+        cycles: result.max_cycles(),
+        instructions: result.core_stats.iter().map(|s| s.instructions).sum(),
+        device: *device.device_stats(),
+        dram: *device.dram_stats(),
+        ratio: device.compression_ratio(),
+    }
+}
+
+/// Geometric mean of positive values (1.0 when empty).
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_core_runs_all_systems() {
+        let p = benchmark("povray").unwrap();
+        for system in SystemKind::evaluated() {
+            let r = run_single(&p, &system, 2_000);
+            assert!(r.cycles > 0, "{} produced no cycles", r.system);
+            assert!(r.ipc() > 0.0);
+            if matches!(system, SystemKind::Uncompressed) {
+                assert_eq!(r.ratio, 1.0);
+            } else {
+                assert!(r.ratio >= 0.9, "{}: ratio {:.2}", r.system, r.ratio);
+            }
+        }
+    }
+
+    #[test]
+    fn mix_runs_on_four_cores() {
+        let r = run_mix(
+            "mix6",
+            ["perlbench", "bzip2", "gromacs", "gobmk"],
+            &SystemKind::Compresso,
+            1_000,
+        );
+        assert!(r.cycles > 0);
+        assert!(r.ratio > 1.0);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert_eq!(geomean(&[]), 1.0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let p = benchmark("gcc").unwrap();
+        let a = run_single(&p, &SystemKind::Compresso, 3_000);
+        let b = run_single(&p, &SystemKind::Compresso, 3_000);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.device, b.device);
+    }
+}

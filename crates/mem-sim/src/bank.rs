@@ -1,0 +1,95 @@
+//! DRAM bank and row-buffer state.
+
+/// What the row buffer did for an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RowBufferOutcome {
+    /// The requested row was already open.
+    Hit,
+    /// The bank was precharged (no open row).
+    Closed,
+    /// A different row was open and had to be precharged first.
+    Conflict,
+}
+
+/// One DRAM bank: an open-row register plus a busy-until timestamp.
+#[derive(Debug, Clone, Default)]
+pub struct Bank {
+    open_row: Option<u64>,
+    /// Core cycle at which the bank can accept the next command.
+    ready_at: u64,
+}
+
+impl Bank {
+    /// Creates an idle, precharged bank.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The currently open row, if any.
+    pub fn open_row(&self) -> Option<u64> {
+        self.open_row
+    }
+
+    /// Cycle at which the bank becomes free.
+    pub fn ready_at(&self) -> u64 {
+        self.ready_at
+    }
+
+    /// Classifies an access to `row` against the current row buffer.
+    pub fn classify(&self, row: u64) -> RowBufferOutcome {
+        match self.open_row {
+            Some(open) if open == row => RowBufferOutcome::Hit,
+            Some(_) => RowBufferOutcome::Conflict,
+            None => RowBufferOutcome::Closed,
+        }
+    }
+
+    /// Performs an access: waits for the bank, opens `row`, and occupies
+    /// the bank for `service_cycles`. Returns the cycle the access starts.
+    pub fn access(&mut self, now: u64, row: u64, service_cycles: u64) -> u64 {
+        let start = now.max(self.ready_at);
+        self.open_row = Some(row);
+        self.ready_at = start + service_cycles;
+        start
+    }
+
+    /// Precharges the bank (e.g. on refresh or explicit close).
+    pub fn precharge(&mut self) {
+        self.open_row = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_transitions() {
+        let mut bank = Bank::new();
+        assert_eq!(bank.classify(5), RowBufferOutcome::Closed);
+        bank.access(0, 5, 10);
+        assert_eq!(bank.classify(5), RowBufferOutcome::Hit);
+        assert_eq!(bank.classify(6), RowBufferOutcome::Conflict);
+        bank.precharge();
+        assert_eq!(bank.classify(5), RowBufferOutcome::Closed);
+    }
+
+    #[test]
+    fn access_waits_for_busy_bank() {
+        let mut bank = Bank::new();
+        let s1 = bank.access(100, 1, 50);
+        assert_eq!(s1, 100);
+        // Second access arrives while busy: starts when the bank frees.
+        let s2 = bank.access(120, 1, 50);
+        assert_eq!(s2, 150);
+        assert_eq!(bank.ready_at(), 200);
+    }
+
+    #[test]
+    fn idle_bank_starts_immediately() {
+        let mut bank = Bank::new();
+        bank.access(0, 1, 10);
+        let s = bank.access(500, 2, 10);
+        assert_eq!(s, 500);
+    }
+}

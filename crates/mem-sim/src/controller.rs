@@ -1,0 +1,251 @@
+//! Memory controller: address mapping, bank arbitration, queues, stats.
+
+use crate::bank::{Bank, RowBufferOutcome};
+use crate::timing::MemConfig;
+
+/// Outcome of a single 64 B access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Core cycle at which the access was issued to the controller.
+    pub issued_at: u64,
+    /// Core cycle at which data is available (reads) or the write is
+    /// accepted into the write queue.
+    pub complete_at: u64,
+    /// Row-buffer behaviour of the access.
+    pub row_outcome: RowBufferOutcome,
+}
+
+impl AccessResult {
+    /// End-to-end latency in core cycles.
+    pub fn latency(&self) -> u64 {
+        self.complete_at - self.issued_at
+    }
+}
+
+/// Aggregate statistics, including the energy-relevant event counts
+/// consumed by `compresso-energy`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Completed read bursts.
+    pub reads: u64,
+    /// Completed write bursts.
+    pub writes: u64,
+    /// Row-buffer hits.
+    pub row_hits: u64,
+    /// Accesses to a precharged bank.
+    pub row_closed: u64,
+    /// Row-buffer conflicts (precharge + activate).
+    pub row_conflicts: u64,
+    /// Row activations (closed + conflict accesses).
+    pub activations: u64,
+    /// Cycles any bank was occupied (approximate busy time).
+    pub busy_cycles: u64,
+}
+
+impl MemStats {
+    /// Total accesses (reads + writes).
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Row-buffer hit rate in [0, 1]; 0 if no accesses.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_closed + self.row_conflicts;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+}
+
+/// A single-channel DDR4 main memory with a simple FR-FCFS-like policy:
+/// accesses are serviced in arrival order but row-buffer state is tracked
+/// per bank, and writes are buffered through a write queue whose drain only
+/// delays the requester once the queue is full.
+#[derive(Debug, Clone)]
+pub struct MainMemory {
+    config: MemConfig,
+    banks: Vec<Bank>,
+    /// Cycle the shared data bus frees.
+    bus_free_at: u64,
+    /// Pending buffered writes: completion times on the bus.
+    write_queue: Vec<u64>,
+    stats: MemStats,
+}
+
+impl MainMemory {
+    /// Creates a memory from `config`.
+    pub fn new(config: MemConfig) -> Self {
+        let banks = (0..config.banks).map(|_| Bank::new()).collect();
+        Self { config, banks, bus_free_at: 0, write_queue: Vec::new(), stats: MemStats::default() }
+    }
+
+    /// The configuration this memory was built with.
+    pub fn config(&self) -> &MemConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// Resets statistics (bank state is preserved).
+    pub fn reset_stats(&mut self) {
+        self.stats = MemStats::default();
+    }
+
+    fn map(&self, addr: u64) -> (usize, u64) {
+        let row_bytes = self.config.row_bytes;
+        let bank = ((addr / row_bytes) % self.config.banks as u64) as usize;
+        let row = addr / (row_bytes * self.config.banks as u64);
+        (bank, row)
+    }
+
+    fn service(&mut self, now: u64, addr: u64) -> AccessResult {
+        let (bank_idx, row) = self.map(addr);
+        let outcome = self.banks[bank_idx].classify(row);
+        let service = match outcome {
+            RowBufferOutcome::Hit => {
+                self.stats.row_hits += 1;
+                self.config.row_hit_cycles()
+            }
+            RowBufferOutcome::Closed => {
+                self.stats.row_closed += 1;
+                self.stats.activations += 1;
+                self.config.row_closed_cycles()
+            }
+            RowBufferOutcome::Conflict => {
+                self.stats.row_conflicts += 1;
+                self.stats.activations += 1;
+                self.config.row_conflict_cycles()
+            }
+        };
+        // Data bus occupancy: one burst per access.
+        let burst = self.config.to_core_cycles(self.config.timing.burst_cycles());
+        let earliest = now.max(self.bus_free_at.saturating_sub(service - burst));
+        let start = self.banks[bank_idx].access(earliest, row, service);
+        let complete = start + service;
+        self.bus_free_at = self.bus_free_at.max(complete);
+        self.stats.busy_cycles += service;
+        AccessResult { issued_at: now, complete_at: complete, row_outcome: outcome }
+    }
+
+    /// Issues a 64 B read burst at core cycle `now`.
+    pub fn read(&mut self, now: u64, addr: u64) -> AccessResult {
+        self.drain_writes(now);
+        self.stats.reads += 1;
+        self.service(now, addr)
+    }
+
+    /// Issues a 64 B write burst at `now`.
+    ///
+    /// Writes are posted: the returned `complete_at` is when the write is
+    /// accepted. If the write queue is full, acceptance stalls until the
+    /// oldest buffered write has drained.
+    pub fn write(&mut self, now: u64, addr: u64) -> AccessResult {
+        self.drain_writes(now);
+        self.stats.writes += 1;
+        let result = self.service(now, addr);
+        let accept_at = if self.write_queue.len() >= self.config.write_queue_depth {
+            // Queue full: the requester waits for the oldest entry.
+            let oldest = self.write_queue.remove(0);
+            now.max(oldest)
+        } else {
+            now
+        };
+        self.write_queue.push(result.complete_at);
+        AccessResult { issued_at: now, complete_at: accept_at.max(now), row_outcome: result.row_outcome }
+    }
+
+    fn drain_writes(&mut self, now: u64) {
+        self.write_queue.retain(|&done| done > now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> MainMemory {
+        MainMemory::new(MemConfig::ddr4_2666())
+    }
+
+    #[test]
+    fn first_read_is_closed_row() {
+        let mut m = mem();
+        let r = m.read(0, 0);
+        assert_eq!(r.row_outcome, RowBufferOutcome::Closed);
+        assert_eq!(r.latency(), m.config().row_closed_cycles());
+    }
+
+    #[test]
+    fn same_row_read_hits() {
+        let mut m = mem();
+        let r1 = m.read(0, 0);
+        let r2 = m.read(r1.complete_at, 64);
+        assert_eq!(r2.row_outcome, RowBufferOutcome::Hit);
+        assert!(r2.latency() < r1.latency());
+    }
+
+    #[test]
+    fn different_row_same_bank_conflicts() {
+        let mut m = mem();
+        let row_span = m.config().row_bytes * m.config().banks as u64;
+        let r1 = m.read(0, 0);
+        let r2 = m.read(r1.complete_at, row_span); // same bank, next row
+        assert_eq!(r2.row_outcome, RowBufferOutcome::Conflict);
+        assert_eq!(r2.latency(), m.config().row_conflict_cycles());
+    }
+
+    #[test]
+    fn different_banks_overlap() {
+        let mut m = mem();
+        let r1 = m.read(0, 0);
+        // Different bank: starts immediately even though bank 0 is busy.
+        let r2 = m.read(0, m.config().row_bytes);
+        assert_eq!(r2.row_outcome, RowBufferOutcome::Closed);
+        assert!(r2.complete_at <= r1.complete_at + m.config().to_core_cycles(4));
+    }
+
+    #[test]
+    fn posted_writes_do_not_stall_until_queue_full() {
+        let mut m = mem();
+        let w = m.write(0, 0);
+        assert_eq!(w.complete_at, 0, "posted write should not stall");
+        // Saturate the queue with back-to-back same-cycle writes.
+        let mut stalled = false;
+        for i in 0..200u64 {
+            let w = m.write(0, i * 64);
+            if w.complete_at > 0 {
+                stalled = true;
+                break;
+            }
+        }
+        assert!(stalled, "a full write queue must eventually stall");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut m = mem();
+        let r = m.read(0, 0);
+        m.write(r.complete_at, 64);
+        assert_eq!(m.stats().reads, 1);
+        assert_eq!(m.stats().writes, 1);
+        assert_eq!(m.stats().accesses(), 2);
+        assert!(m.stats().row_hit_rate() > 0.0);
+        m.reset_stats();
+        assert_eq!(m.stats().accesses(), 0);
+    }
+
+    #[test]
+    fn busy_bank_serializes_requests() {
+        let mut m = mem();
+        let r1 = m.read(0, 0);
+        // Same bank, same row, issued immediately: must wait for the bank.
+        let r2 = m.read(0, 64);
+        assert!(r2.complete_at > r1.complete_at);
+        assert_eq!(r2.row_outcome, RowBufferOutcome::Hit);
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests on the DRAM model's timing invariants.
+
+use compresso_mem_sim::{MainMemory, MemConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn reads_never_complete_before_minimum_latency(
+        addrs in prop::collection::vec(0u64..(1 << 30), 1..100)
+    ) {
+        let cfg = MemConfig::ddr4_2666();
+        let min = cfg.row_hit_cycles();
+        let max_single = cfg.row_conflict_cycles();
+        let mut mem = MainMemory::new(cfg);
+        let mut now = 0;
+        for addr in addrs {
+            let r = mem.read(now, addr / 64 * 64);
+            prop_assert!(r.latency() >= min, "latency {} below row-hit floor {min}", r.latency());
+            now = r.complete_at;
+            // Issued when idle, a read can never exceed the conflict
+            // latency (no queueing).
+            prop_assert!(r.latency() <= max_single, "idle read above conflict ceiling");
+        }
+    }
+
+    #[test]
+    fn time_never_goes_backwards(
+        ops in prop::collection::vec((0u64..(1 << 28), any::<bool>(), 0u64..200), 1..200)
+    ) {
+        let mut mem = MainMemory::new(MemConfig::ddr4_2666());
+        let mut now = 0u64;
+        for (addr, is_write, gap) in ops {
+            now += gap;
+            let r = if is_write { mem.write(now, addr / 64 * 64) } else { mem.read(now, addr / 64 * 64) };
+            prop_assert!(r.complete_at >= now, "completion before issue");
+            prop_assert_eq!(r.issued_at, now);
+        }
+    }
+
+    #[test]
+    fn stats_count_every_access(
+        ops in prop::collection::vec((0u64..(1 << 26), any::<bool>()), 1..300)
+    ) {
+        let mut mem = MainMemory::new(MemConfig::ddr4_2666());
+        let (mut reads, mut writes) = (0u64, 0u64);
+        let mut now = 0;
+        for (addr, is_write) in ops {
+            if is_write {
+                mem.write(now, addr);
+                writes += 1;
+            } else {
+                let r = mem.read(now, addr);
+                now = r.complete_at;
+                reads += 1;
+            }
+        }
+        prop_assert_eq!(mem.stats().reads, reads);
+        prop_assert_eq!(mem.stats().writes, writes);
+        let s = mem.stats();
+        prop_assert_eq!(s.row_hits + s.row_closed + s.row_conflicts, reads + writes);
+        prop_assert_eq!(s.activations, s.row_closed + s.row_conflicts);
+    }
+
+    #[test]
+    fn same_row_streams_mostly_hit(start in 0u64..(1 << 20)) {
+        let cfg = MemConfig::ddr4_2666();
+        let row = start / cfg.row_bytes * cfg.row_bytes;
+        let mut mem = MainMemory::new(cfg);
+        let mut now = 0;
+        for i in 0..32 {
+            let r = mem.read(now, row + i * 64);
+            now = r.complete_at;
+        }
+        prop_assert!(mem.stats().row_hits >= 31, "streaming one row must hit");
+    }
+}

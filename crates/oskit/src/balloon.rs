@@ -1,0 +1,169 @@
+//! Memory ballooning for OS-transparent out-of-memory handling (§V-B,
+//! Fig. 8).
+//!
+//! When poorly-compressing data fills the machine physical space, prior
+//! designs raise an exception to a compression-aware OS. Compresso
+//! instead ships a plain balloon driver (the same mechanism every
+//! virtualization-capable OS already has): the driver `inflates` by
+//! allocating pages from the guest OS — which reclaims free or cold pages
+//! through its normal paging path — and reports the page numbers to the
+//! hardware, which invalidates them in metadata so they need no MPA
+//! storage.
+
+use crate::vm::OsMemory;
+
+/// The hardware side the balloon driver talks to. Implemented by
+/// `CompressoDevice` (and anything else that can drop page storage).
+pub trait MpaController {
+    /// Fraction of machine physical capacity in use, in [0, 1].
+    fn mpa_pressure(&self) -> f64;
+
+    /// Drops `page`'s storage (the page's data is gone; the OS guarantees
+    /// the balloon owns it and will never read it).
+    fn invalidate_page(&mut self, page: u64);
+}
+
+/// Balloon statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BalloonStats {
+    /// Pages currently held by the balloon.
+    pub held_pages: u64,
+    /// Total inflate operations.
+    pub inflates: u64,
+    /// Total deflate operations.
+    pub deflates: u64,
+}
+
+/// The Compresso balloon driver.
+#[derive(Debug)]
+pub struct BalloonDriver {
+    /// Inflate when MPA pressure exceeds this.
+    high_watermark: f64,
+    /// Deflate when pressure drops below this.
+    low_watermark: f64,
+    /// Pages per inflate step.
+    step: usize,
+    held: Vec<u64>,
+    stats: BalloonStats,
+}
+
+impl BalloonDriver {
+    /// Creates a driver with the given watermarks.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < low < high <= 1`.
+    pub fn new(low_watermark: f64, high_watermark: f64, step: usize) -> Self {
+        assert!(
+            0.0 < low_watermark && low_watermark < high_watermark && high_watermark <= 1.0,
+            "watermarks must satisfy 0 < low < high <= 1"
+        );
+        Self {
+            high_watermark,
+            low_watermark,
+            step: step.max(1),
+            held: Vec::new(),
+            stats: BalloonStats::default(),
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> BalloonStats {
+        BalloonStats { held_pages: self.held.len() as u64, ..self.stats }
+    }
+
+    /// One driver tick: inflate or deflate according to MPA pressure.
+    /// Returns the number of pages moved.
+    pub fn tick<C: MpaController>(&mut self, os: &mut OsMemory, hw: &mut C) -> usize {
+        let pressure = hw.mpa_pressure();
+        if pressure > self.high_watermark {
+            // Inflate: demand pages from the OS; the OS reclaims free or
+            // cold pages via its regular paging mechanism.
+            let pages = os.reclaim_pages(self.step);
+            let n = pages.len();
+            for page in pages {
+                hw.invalidate_page(page);
+                self.held.push(page);
+            }
+            if n > 0 {
+                self.stats.inflates += 1;
+            }
+            n
+        } else if pressure < self.low_watermark && !self.held.is_empty() {
+            // Deflate: return pages to the OS.
+            let n = self.step.min(self.held.len());
+            for _ in 0..n {
+                let page = self.held.pop().expect("checked nonempty");
+                os.return_page(page);
+            }
+            self.stats.deflates += 1;
+            n
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct FakeHw {
+        pressure: f64,
+        invalidated: Vec<u64>,
+    }
+
+    impl MpaController for FakeHw {
+        fn mpa_pressure(&self) -> f64 {
+            self.pressure
+        }
+
+        fn invalidate_page(&mut self, page: u64) {
+            self.invalidated.push(page);
+            // Each dropped page relieves a little pressure.
+            self.pressure -= 0.001;
+        }
+    }
+
+    #[test]
+    fn inflates_under_pressure() {
+        let mut os = OsMemory::new(1000);
+        os.allocate(500).unwrap();
+        let mut hw = FakeHw { pressure: 0.97, invalidated: Vec::new() };
+        let mut b = BalloonDriver::new(0.70, 0.90, 64);
+        let moved = b.tick(&mut os, &mut hw);
+        assert_eq!(moved, 64);
+        assert_eq!(hw.invalidated.len(), 64);
+        assert_eq!(b.stats().held_pages, 64);
+    }
+
+    #[test]
+    fn idle_between_watermarks() {
+        let mut os = OsMemory::new(1000);
+        let mut hw = FakeHw { pressure: 0.80, invalidated: Vec::new() };
+        let mut b = BalloonDriver::new(0.70, 0.90, 64);
+        assert_eq!(b.tick(&mut os, &mut hw), 0);
+    }
+
+    #[test]
+    fn deflates_when_pressure_clears() {
+        let mut os = OsMemory::new(1000);
+        os.allocate(100).unwrap();
+        let mut hw = FakeHw { pressure: 0.95, invalidated: Vec::new() };
+        let mut b = BalloonDriver::new(0.70, 0.90, 32);
+        b.tick(&mut os, &mut hw);
+        assert_eq!(b.stats().held_pages, 32);
+        let free_before = os.free_pages();
+        hw.pressure = 0.50;
+        let moved = b.tick(&mut os, &mut hw);
+        assert_eq!(moved, 32);
+        assert_eq!(b.stats().held_pages, 0);
+        assert_eq!(os.free_pages(), free_before + 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "watermarks")]
+    fn bad_watermarks_panic() {
+        let _ = BalloonDriver::new(0.9, 0.7, 1);
+    }
+}

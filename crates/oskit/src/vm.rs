@@ -1,0 +1,146 @@
+//! A minimal OS memory-manager model: enough of `__alloc_pages()` for the
+//! balloon driver to demand pages through the regular allocation path.
+
+use std::collections::HashSet;
+
+/// Error when the OS cannot satisfy an allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfOsMemory;
+
+impl std::fmt::Display for OutOfOsMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("OS page allocator exhausted")
+    }
+}
+
+impl std::error::Error for OutOfOsMemory {}
+
+/// The OS view of (OSPA) memory: a free list plus allocated and cold
+/// sets. Cold pages are allocated pages the OS would reclaim by paging
+/// them out when the balloon demands memory.
+#[derive(Debug, Clone)]
+pub struct OsMemory {
+    free: Vec<u64>,
+    allocated: HashSet<u64>,
+    cold: Vec<u64>,
+}
+
+impl OsMemory {
+    /// Creates an OS managing `pages` OSPA pages.
+    pub fn new(pages: u64) -> Self {
+        Self {
+            free: (0..pages).rev().collect(),
+            allocated: HashSet::new(),
+            cold: Vec::new(),
+        }
+    }
+
+    /// Pages currently free.
+    pub fn free_pages(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Pages currently allocated.
+    pub fn allocated_pages(&self) -> usize {
+        self.allocated.len()
+    }
+
+    /// Allocates `n` pages to a process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfOsMemory`] if fewer than `n` pages are free.
+    pub fn allocate(&mut self, n: usize) -> Result<Vec<u64>, OutOfOsMemory> {
+        if self.free.len() < n {
+            return Err(OutOfOsMemory);
+        }
+        let pages: Vec<u64> = (0..n).map(|_| self.free.pop().expect("checked")).collect();
+        self.allocated.extend(pages.iter().copied());
+        Ok(pages)
+    }
+
+    /// Frees process pages back to the OS.
+    pub fn release(&mut self, pages: &[u64]) {
+        for &p in pages {
+            if self.allocated.remove(&p) {
+                self.free.push(p);
+            }
+        }
+    }
+
+    /// Marks allocated pages as cold (reclaim candidates).
+    pub fn mark_cold(&mut self, pages: &[u64]) {
+        for &p in pages {
+            if self.allocated.contains(&p) {
+                self.cold.push(p);
+            }
+        }
+    }
+
+    /// The balloon's inflate path: hands out up to `n` pages, preferring
+    /// free pages, then cold ones (which the OS pages out first).
+    pub fn reclaim_pages(&mut self, n: usize) -> Vec<u64> {
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            if let Some(p) = self.free.pop() {
+                self.allocated.insert(p);
+                out.push(p);
+            } else if let Some(p) = self.cold.pop() {
+                out.push(p);
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// The balloon's deflate path: a held page returns to the free list.
+    pub fn return_page(&mut self, page: u64) {
+        self.allocated.remove(&page);
+        self.free.push(page);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_and_release() {
+        let mut os = OsMemory::new(10);
+        let pages = os.allocate(4).unwrap();
+        assert_eq!(pages.len(), 4);
+        assert_eq!(os.free_pages(), 6);
+        os.release(&pages);
+        assert_eq!(os.free_pages(), 10);
+        assert_eq!(os.allocated_pages(), 0);
+    }
+
+    #[test]
+    fn allocation_failure() {
+        let mut os = OsMemory::new(2);
+        assert_eq!(os.allocate(3), Err(OutOfOsMemory));
+        assert_eq!(os.free_pages(), 2, "failed allocation must not leak");
+    }
+
+    #[test]
+    fn reclaim_prefers_free_then_cold() {
+        let mut os = OsMemory::new(4);
+        let held = os.allocate(3).unwrap();
+        os.mark_cold(&held[..2]);
+        // 1 free + 2 cold available.
+        let reclaimed = os.reclaim_pages(3);
+        assert_eq!(reclaimed.len(), 3);
+        // No more reclaimable pages.
+        assert!(os.reclaim_pages(1).is_empty());
+    }
+
+    #[test]
+    fn returned_pages_are_reusable() {
+        let mut os = OsMemory::new(2);
+        let pages = os.allocate(2).unwrap();
+        os.return_page(pages[0]);
+        assert_eq!(os.free_pages(), 1);
+        assert!(os.allocate(1).is_ok());
+    }
+}

@@ -1,0 +1,51 @@
+//! The paper's ten 4-core workload mixes (Tab. IV).
+
+/// Tab. IV: each mix is four benchmarks run together on a 4-core system
+/// with a shared 8 MB L3.
+pub const MIXES: [(&str, [&str; 4]); 10] = [
+    ("mix1", ["mcf", "GemsFDTD", "libquantum", "soplex"]),
+    ("mix2", ["milc", "astar", "gamess", "tonto"]),
+    ("mix3", ["Forestfire", "lbm", "leslie3d", "hmmer"]),
+    ("mix4", ["sjeng", "omnetpp", "gcc", "namd"]),
+    ("mix5", ["xalancbmk", "cactusADM", "calculix", "sphinx3"]),
+    ("mix6", ["perlbench", "bzip2", "gromacs", "gobmk"]),
+    ("mix7", ["bwaves", "povray", "h264ref", "Pagerank"]),
+    ("mix8", ["mcf", "bwaves", "Graph500", "perlbench"]),
+    ("mix9", ["Forestfire", "povray", "gamess", "hmmer"]),
+    ("mix10", ["Forestfire", "Pagerank", "Graph500", "cactusADM"]),
+];
+
+/// Looks up a mix by name (`"mix1"` … `"mix10"`).
+pub fn mix(name: &str) -> Option<[&'static str; 4]> {
+    MIXES.iter().find(|(n, _)| *n == name).map(|(_, b)| *b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::benchmark;
+
+    #[test]
+    fn ten_mixes_of_four() {
+        assert_eq!(MIXES.len(), 10);
+        for (name, benchmarks) in MIXES {
+            assert!(name.starts_with("mix"));
+            for b in benchmarks {
+                assert!(benchmark(b).is_some(), "{name} references unknown benchmark {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mix10_is_the_metadata_stress_case() {
+        // §VI-E: "Mix10 represents a worst case scenario for compression
+        // overhead" — three metadata-hostile graph workloads.
+        let m = mix("mix10").unwrap();
+        assert_eq!(m, ["Forestfire", "Pagerank", "Graph500", "cactusADM"]);
+    }
+
+    #[test]
+    fn lookup_unknown_mix() {
+        assert!(mix("mix11").is_none());
+    }
+}

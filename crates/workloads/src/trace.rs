@@ -1,0 +1,233 @@
+//! Deterministic access-trace generation from a benchmark profile.
+
+use crate::profile::{BenchmarkProfile, Evolution};
+use crate::world::{DataWorld, LINES_PER_PAGE, PAGE_BYTES};
+use compresso_cache_sim::TraceOp;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates the memory-access trace of one benchmark.
+///
+/// Reproduces the behaviours the paper's data-movement analysis depends
+/// on: a hot/cold working set, a sequential-walk component (spatial
+/// locality and prefetch-friendliness), a store mix, and *streaming
+/// bursts* that overwrite compressible (often zero-initialized) pages with
+/// new data — the pattern behind cache-line and page overflows (§IV-B2).
+#[derive(Debug)]
+pub struct TraceGenerator {
+    profile: BenchmarkProfile,
+    rng: StdRng,
+    /// Cursor for the sequential-walk component.
+    seq_line: u64,
+    /// Cursor over degrading pages for streaming bursts.
+    stream_page_cursor: u64,
+    /// Remaining line-writes in the active streaming burst.
+    burst_remaining: u32,
+    burst_page: u64,
+    total_lines: u64,
+}
+
+impl TraceGenerator {
+    /// Creates a generator; the profile's seed makes traces reproducible.
+    pub fn new(profile: &BenchmarkProfile) -> Self {
+        let total_lines = profile.footprint_pages as u64 * LINES_PER_PAGE;
+        Self {
+            profile: profile.clone(),
+            rng: StdRng::seed_from_u64(profile.seed.wrapping_mul(0x5851_F42D_4C95_7F2D)),
+            seq_line: 0,
+            stream_page_cursor: 0,
+            burst_remaining: 0,
+            burst_page: 0,
+            total_lines,
+        }
+    }
+
+    /// The profile driving this generator.
+    pub fn profile(&self) -> &BenchmarkProfile {
+        &self.profile
+    }
+
+    fn hot_pages(&self) -> u64 {
+        ((self.profile.footprint_pages as f64 * self.profile.hot_fraction) as u64).max(1)
+    }
+
+    fn pick_line(&mut self) -> u64 {
+        let p = &self.profile;
+        if self.rng.gen_bool(p.sequential_bias) {
+            // Sequential walk through the footprint.
+            self.seq_line = (self.seq_line + 1) % self.total_lines;
+            return self.seq_line;
+        }
+        let footprint = p.footprint_pages as u64;
+        let page = if self.rng.gen_bool(p.hot_prob) {
+            self.rng.gen_range(0..self.hot_pages())
+        } else {
+            self.rng.gen_range(0..footprint)
+        };
+        page * LINES_PER_PAGE + self.rng.gen_range(0..LINES_PER_PAGE)
+    }
+
+    /// Finds the next degrading page for a streaming burst (these are the
+    /// zero-initialized regions applications stream new data into).
+    fn next_stream_page(&mut self, world: &DataWorld) -> u64 {
+        let footprint = self.profile.footprint_pages as u64;
+        for _ in 0..footprint {
+            let page = self.stream_page_cursor;
+            self.stream_page_cursor = (self.stream_page_cursor + 1) % footprint;
+            if world.evolution_of(page * PAGE_BYTES) == Evolution::Degrading {
+                return page;
+            }
+        }
+        // No degrading pages: stream anywhere.
+        self.rng.gen_range(0..footprint)
+    }
+
+    /// Emits ops for one memory access (plus its preceding compute).
+    fn next_access(&mut self, world: &DataWorld, out: &mut Vec<TraceOp>) {
+        let stream_prob = self.profile.stream_prob;
+        let write_fraction = self.profile.write_fraction;
+        // Compute gap, jittered ±50%.
+        let base = self.profile.compute_per_mem.max(1);
+        let gap = self.rng.gen_range((base / 2).max(1)..=base + base / 2);
+        out.push(TraceOp::Compute(gap));
+
+        if self.burst_remaining > 0 {
+            // Continue the active streaming burst: sequential writes.
+            let line_in_page = LINES_PER_PAGE - self.burst_remaining as u64;
+            let addr = (self.burst_page * LINES_PER_PAGE + line_in_page) * 64;
+            out.push(TraceOp::Write(addr));
+            self.burst_remaining -= 1;
+            return;
+        }
+        if self.rng.gen_bool(stream_prob) {
+            self.burst_page = self.next_stream_page(world);
+            self.burst_remaining = LINES_PER_PAGE as u32;
+            let addr = self.burst_page * PAGE_BYTES;
+            out.push(TraceOp::Write(addr));
+            self.burst_remaining -= 1;
+            return;
+        }
+
+        let line = self.pick_line();
+        let addr = line * 64;
+        if self.rng.gen_bool(write_fraction) {
+            out.push(TraceOp::Write(addr));
+        } else {
+            out.push(TraceOp::Read(addr));
+        }
+    }
+
+    /// Generates a trace containing `mem_ops` memory operations
+    /// (interleaved with compute ops).
+    pub fn generate(&mut self, world: &DataWorld, mem_ops: usize) -> Vec<TraceOp> {
+        let mut out = Vec::with_capacity(mem_ops * 2);
+        for _ in 0..mem_ops {
+            self.next_access(world, &mut out);
+        }
+        out
+    }
+}
+
+/// Convenience: builds the world and a trace in one call.
+pub fn trace_for(profile: &BenchmarkProfile, mem_ops: usize) -> (DataWorld, Vec<TraceOp>) {
+    let world = DataWorld::new(profile);
+    let mut generator = TraceGenerator::new(profile);
+    let trace = generator.generate(&world, mem_ops);
+    (world, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::benchmark;
+
+    #[test]
+    fn traces_are_deterministic() {
+        let p = benchmark("gcc").unwrap();
+        let (_, a) = trace_for(&p, 2000);
+        let (_, b) = trace_for(&p, 2000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trace_contains_requested_mem_ops() {
+        let p = benchmark("milc").unwrap();
+        let (_, trace) = trace_for(&p, 1000);
+        let mem = trace.iter().filter(|op| !matches!(op, TraceOp::Compute(_))).count();
+        assert_eq!(mem, 1000);
+    }
+
+    #[test]
+    fn write_fraction_is_respected() {
+        let p = benchmark("lbm").unwrap(); // write_fraction 0.40
+        let (_, trace) = trace_for(&p, 20_000);
+        let writes = trace.iter().filter(|op| matches!(op, TraceOp::Write(_))).count();
+        let mems = trace.iter().filter(|op| !matches!(op, TraceOp::Compute(_))).count();
+        let frac = writes as f64 / mems as f64;
+        assert!((0.3..0.65).contains(&frac), "write fraction off: {frac}");
+    }
+
+    #[test]
+    fn addresses_stay_in_footprint() {
+        let p = benchmark("povray").unwrap();
+        let limit = p.footprint_pages as u64 * PAGE_BYTES;
+        let (_, trace) = trace_for(&p, 5000);
+        for op in trace {
+            if let TraceOp::Read(a) | TraceOp::Write(a) = op {
+                assert!(a < limit, "address {a} beyond footprint {limit}");
+                assert_eq!(a % 64, 0, "addresses must be line-aligned");
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_benchmark_bursts_whole_pages() {
+        let p = benchmark("gcc").unwrap(); // stream_prob 0.004
+        let (world, trace) = trace_for(&p, 30_000);
+        // Detect at least one run of 64 consecutive same-page writes.
+        let mut best_run = 0u64;
+        let mut run = 0u64;
+        let mut last_page = u64::MAX;
+        let mut last_line = u64::MAX;
+        for op in &trace {
+            if let TraceOp::Write(a) = op {
+                let page = a / PAGE_BYTES;
+                let line = a / 64;
+                if page == last_page && line == last_line + 1 {
+                    run += 1;
+                } else {
+                    run = 1;
+                }
+                best_run = best_run.max(run);
+                last_page = page;
+                last_line = line;
+            } else if matches!(op, TraceOp::Read(_)) {
+                run = 0;
+                last_page = u64::MAX;
+                last_line = u64::MAX;
+            }
+        }
+        assert!(best_run >= 32, "expected a streaming burst, best run {best_run}");
+        drop(world);
+    }
+
+    #[test]
+    fn hot_set_dominates_accesses() {
+        let p = benchmark("h264ref").unwrap(); // hot_prob 0.97, seq 0.55
+        let (_, trace) = trace_for(&p, 20_000);
+        let hot_pages = (p.footprint_pages as f64 * p.hot_fraction) as u64;
+        let mut hot = 0u64;
+        let mut total = 0u64;
+        for op in trace {
+            if let TraceOp::Read(a) | TraceOp::Write(a) = op {
+                total += 1;
+                if a / PAGE_BYTES < hot_pages.max(1) {
+                    hot += 1;
+                }
+            }
+        }
+        // Sequential component dilutes it, but the hot set must dominate
+        // far beyond its footprint share (10%).
+        assert!(hot as f64 / total as f64 > 0.35, "hot {hot}/{total}");
+    }
+}

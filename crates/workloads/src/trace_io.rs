@@ -1,0 +1,142 @@
+//! Trace serialization: save generated traces and replay them later.
+//!
+//! Useful for pinning a workload across tool versions, diffing runs, or
+//! feeding the simulator from externally produced traces. The format is a
+//! line-oriented text format, one op per line:
+//!
+//! ```text
+//! C 12      # 12 non-memory instructions
+//! R 4096    # load from byte address 4096
+//! W 8192    # store to byte address 8192
+//! ```
+
+use compresso_cache_sim::TraceOp;
+use std::io::{self, BufRead, Write};
+
+/// Error reading a trace.
+#[derive(Debug)]
+pub enum ReadTraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line, with its 1-based line number.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+}
+
+impl std::fmt::Display for ReadTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadTraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            ReadTraceError::Parse { line, content } => {
+                write!(f, "malformed trace line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReadTraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadTraceError::Io(e) => Some(e),
+            ReadTraceError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for ReadTraceError {
+    fn from(e: io::Error) -> Self {
+        ReadTraceError::Io(e)
+    }
+}
+
+/// Writes a trace to `writer` (one op per line; `#` comments allowed on
+/// read).
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer`.
+pub fn write_trace<W: Write>(mut writer: W, trace: &[TraceOp]) -> io::Result<()> {
+    for op in trace {
+        match op {
+            TraceOp::Compute(n) => writeln!(writer, "C {n}")?,
+            TraceOp::Read(a) => writeln!(writer, "R {a}")?,
+            TraceOp::Write(a) => writeln!(writer, "W {a}")?,
+        }
+    }
+    Ok(())
+}
+
+/// Reads a trace written by [`write_trace`]. Blank lines and `#` comments
+/// are skipped.
+///
+/// # Errors
+///
+/// Returns [`ReadTraceError`] on I/O failure or a malformed line.
+pub fn read_trace<R: BufRead>(reader: R) -> Result<Vec<TraceOp>, ReadTraceError> {
+    let mut out = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let body = line.split('#').next().unwrap_or("").trim();
+        if body.is_empty() {
+            continue;
+        }
+        let bad = || ReadTraceError::Parse { line: idx + 1, content: line.clone() };
+        let (kind, value) = body.split_once(' ').ok_or_else(bad)?;
+        let op = match kind {
+            "C" => TraceOp::Compute(value.trim().parse().map_err(|_| bad())?),
+            "R" => TraceOp::Read(value.trim().parse().map_err(|_| bad())?),
+            "W" => TraceOp::Write(value.trim().parse().map_err(|_| bad())?),
+            _ => return Err(bad()),
+        };
+        out.push(op);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::benchmark;
+    use crate::trace::trace_for;
+
+    #[test]
+    fn roundtrip_generated_trace() {
+        let p = benchmark("gcc").unwrap();
+        let (_, trace) = trace_for(&p, 500);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).expect("in-memory write");
+        let back = read_trace(buf.as_slice()).expect("well-formed");
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let text = "# header\n\nC 4\nR 64 # inline comment\nW 128\n";
+        let trace = read_trace(text.as_bytes()).expect("well-formed");
+        assert_eq!(
+            trace,
+            vec![TraceOp::Compute(4), TraceOp::Read(64), TraceOp::Write(128)]
+        );
+    }
+
+    #[test]
+    fn malformed_line_is_reported_with_position() {
+        let text = "C 4\nbogus line\n";
+        match read_trace(text.as_bytes()) {
+            Err(ReadTraceError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_number_is_a_parse_error() {
+        assert!(matches!(
+            read_trace("R notanumber\n".as_bytes()),
+            Err(ReadTraceError::Parse { .. })
+        ));
+    }
+}

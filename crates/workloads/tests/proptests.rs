@@ -1,0 +1,64 @@
+//! Property tests on workload synthesis invariants.
+
+use compresso_cache_sim::TraceOp;
+use compresso_workloads::{
+    all_benchmarks, data::materialize, trace_for, DataClass, DataWorld, PAGE_BYTES,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn materialization_is_pure(seed in any::<u64>(), key in any::<u64>(), version in any::<u32>()) {
+        for class in DataClass::ALL {
+            prop_assert_eq!(
+                materialize(class, seed, key, version),
+                materialize(class, seed, key, version)
+            );
+        }
+    }
+
+    #[test]
+    fn zero_class_is_always_zero(seed in any::<u64>(), key in any::<u64>(), version in any::<u32>()) {
+        let line = materialize(DataClass::Zero, seed, key, version);
+        prop_assert!(line.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn world_generation_tracks_writebacks(
+        bench_idx in 0usize..30,
+        lines in prop::collection::vec(0u64..1000, 1..40)
+    ) {
+        let profile = &all_benchmarks()[bench_idx];
+        let mut world = DataWorld::new(profile);
+        for &line in &lines {
+            let addr = line * 64;
+            let before = world.generation(addr);
+            world.on_writeback(addr);
+            prop_assert_eq!(world.generation(addr), before + 1);
+        }
+        prop_assert_eq!(world.writebacks(), lines.len() as u64);
+    }
+
+    #[test]
+    fn traces_are_well_formed(bench_idx in 0usize..30, ops in 1usize..400) {
+        let profile = &all_benchmarks()[bench_idx];
+        let (_, trace) = trace_for(profile, ops);
+        let mem_ops = trace
+            .iter()
+            .filter(|op| !matches!(op, TraceOp::Compute(_)))
+            .count();
+        prop_assert_eq!(mem_ops, ops);
+        let limit = profile.footprint_pages as u64 * PAGE_BYTES;
+        for op in trace {
+            match op {
+                TraceOp::Read(a) | TraceOp::Write(a) => {
+                    prop_assert!(a < limit);
+                    prop_assert_eq!(a % 64, 0);
+                }
+                TraceOp::Compute(n) => prop_assert!(n > 0),
+            }
+        }
+    }
+}

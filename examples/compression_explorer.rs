@@ -1,0 +1,47 @@
+//! Compression explorer: compress representative cache lines with every
+//! algorithm in the crate and show sizes, bins, and round-trips.
+//!
+//! ```text
+//! cargo run --release --example compression_explorer
+//! ```
+
+use compresso_compression::{Bdi, BinSet, Bpc, CPack, Compressor, Fpc, Line, LINE_SIZE};
+use compresso_workloads::{data::materialize, DataClass};
+
+fn main() {
+    let bins = BinSet::aligned4();
+    let algorithms: Vec<(&str, Box<dyn Compressor>)> = vec![
+        ("BPC", Box::new(Bpc::new())),
+        ("BDI", Box::new(Bdi::new())),
+        ("FPC", Box::new(Fpc::new())),
+        ("C-Pack", Box::new(CPack::new())),
+    ];
+
+    println!("compressed size in bytes (and Compresso bin) per data class\n");
+    print!("{:<10}", "class");
+    for (name, _) in &algorithms {
+        print!("{name:>16}");
+    }
+    println!();
+
+    for class in DataClass::ALL {
+        let line: Line = materialize(class, 7, 3, 0);
+        print!("{:<10}", format!("{class:?}"));
+        for (_, algo) in &algorithms {
+            let compressed = algo.compress(&line);
+            assert_eq!(algo.decompress(&compressed), line, "round-trip must hold");
+            let bin = bins.quantize(compressed.size_bytes().min(LINE_SIZE));
+            print!("{:>12}", format!("{}B->{}", compressed.size_bytes(), bin.bytes));
+        }
+        println!();
+    }
+
+    println!("\nBPC best-of-transform race (the paper's §II-A modification):");
+    let bpc = Bpc::new();
+    for class in [DataClass::DeltaInt, DataClass::Constant, DataClass::Text] {
+        let line: Line = materialize(class, 11, 5, 0);
+        let best = bpc.compress(&line).size_bytes();
+        let transform_only = bpc.compress_transform_only(&line).size_bytes();
+        println!("  {class:?}: best-of {best}B vs transform-only {transform_only}B");
+    }
+}

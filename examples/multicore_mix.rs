@@ -1,0 +1,37 @@
+//! 4-core mix demo: runs Tab. IV's mix10 — the paper's worst case for
+//! compression overhead (three metadata-hostile graph workloads) — on all
+//! four systems.
+//!
+//! ```text
+//! cargo run --release --example multicore_mix
+//! ```
+
+use compresso_exp::{run_mix, SystemKind};
+use compresso_workloads::mix;
+
+fn main() {
+    let benchmarks = mix("mix10").expect("Tab. IV defines mix10");
+    println!("mix10 = {:?} (paper: worst case for compression overhead)\n", benchmarks);
+
+    let ops = 15_000;
+    let mut base_cycles = None;
+    for system in SystemKind::evaluated() {
+        let r = run_mix("mix10", benchmarks, &system, ops);
+        let rel = base_cycles
+            .map(|b: u64| b as f64 / r.cycles as f64)
+            .unwrap_or(1.0);
+        if base_cycles.is_none() {
+            base_cycles = Some(r.cycles);
+        }
+        println!(
+            "{:<13} cycles {:>12}  relative {:>5.3}  ratio {:>5.2}x  mcache hit {:>5.1}%",
+            r.system,
+            r.cycles,
+            rel,
+            r.ratio,
+            r.device.mcache_hit_rate() * 100.0
+        );
+    }
+    println!("\n(The shared 96KB metadata cache is the bottleneck here; the paper notes a");
+    println!(" warehouse-scale deployment would provision a larger one.)");
+}

@@ -1,0 +1,51 @@
+//! Quickstart: run one benchmark through the full simulation stack on an
+//! uncompressed system and on Compresso, and compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use compresso_cache_sim::{Core, CoreParams, Hierarchy};
+use compresso_core::{CompressoConfig, CompressoDevice, MemoryDevice, UncompressedDevice};
+use compresso_workloads::{benchmark, DataWorld, TraceGenerator};
+
+fn main() {
+    // 1. Pick a paper benchmark and synthesize its world and trace.
+    let profile = benchmark("soplex").expect("soplex is one of the 30 paper benchmarks");
+    let world = DataWorld::new(&profile);
+    let mut generator = TraceGenerator::new(&profile);
+    let trace = generator.generate(&world, 30_000);
+
+    // 2. Run it against the uncompressed baseline.
+    let mut baseline = UncompressedDevice::new();
+    let mut core = Core::new(CoreParams::paper_default());
+    let mut hierarchy = Hierarchy::single_core();
+    let base_cycles = core.run(trace.clone(), &mut hierarchy, &mut baseline);
+
+    // 3. Run the same trace against Compresso.
+    let mut compresso = CompressoDevice::new(CompressoConfig::compresso(), world);
+    let mut core = Core::new(CoreParams::paper_default());
+    let mut hierarchy = Hierarchy::single_core();
+    let comp_cycles = core.run(trace, &mut hierarchy, &mut compresso);
+
+    // 4. Compare.
+    println!("soplex, 30k memory operations (Tab. III platform)\n");
+    println!("uncompressed: {base_cycles} cycles");
+    println!(
+        "Compresso:    {comp_cycles} cycles ({:.3}x relative performance)",
+        base_cycles as f64 / comp_cycles as f64
+    );
+    println!(
+        "compression ratio: {:.2}x  (soplex is zero-rich: {:.0}% of fills were zero lines)",
+        compresso.compression_ratio(),
+        100.0 * compresso.device_stats().zero_fills as f64
+            / compresso.device_stats().demand_fills.max(1) as f64
+    );
+    let (split, overflow, metadata) = compresso.device_stats().extra_breakdown();
+    println!(
+        "extra accesses: {:.1}% split, {:.1}% overflow-related, {:.1}% metadata",
+        split * 100.0,
+        overflow * 100.0,
+        metadata * 100.0
+    );
+}
