@@ -64,6 +64,7 @@ fn bench_figures(c: &mut Criterion) {
     group.bench_function("fig11_multicore", |b| {
         b.iter(|| {
             perf::mix_row("mix6", ["perlbench", "bzip2", "gromacs", "gobmk"], 0.7, 500, 100_000)
+                .expect("paper mix")
                 .overall_compresso()
         })
     });

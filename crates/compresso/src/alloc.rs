@@ -6,6 +6,7 @@
 //! blocks, which is how a real controller would avoid unbounded
 //! fragmentation).
 
+use crate::error::CompressoError;
 use crate::metadata::CHUNK_BYTES;
 
 /// Error returned when the machine physical space is exhausted — the
@@ -94,13 +95,23 @@ impl BuddyAllocator {
         Self { free, capacity: blocks * 4096, used: 0 }
     }
 
-    fn order_of(bytes: u32) -> usize {
+    fn order_of(bytes: u32) -> Result<usize, CompressoError> {
         match bytes {
-            512 => 0,
-            1024 => 1,
-            2048 => 2,
-            4096 => 3,
-            _ => panic!("buddy allocator supports 512/1024/2048/4096, got {bytes}"),
+            512 => Ok(0),
+            1024 => Ok(1),
+            2048 => Ok(2),
+            4096 => Ok(3),
+            _ => Err(CompressoError::UnsupportedAllocSize(bytes)),
+        }
+    }
+
+    /// Rounds `bytes` up to the nearest supported block size.
+    fn round_up(bytes: u32) -> u32 {
+        match bytes {
+            0..=512 => 512,
+            513..=1024 => 1024,
+            1025..=2048 => 2048,
+            _ => 4096,
         }
     }
 
@@ -113,20 +124,18 @@ impl BuddyAllocator {
     ///
     /// # Errors
     ///
-    /// Returns [`OutOfMpaSpace`] if no block (or splittable parent) is
-    /// available.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `bytes` is not one of the four supported sizes.
-    pub fn alloc(&mut self, bytes: u32) -> Result<u64, OutOfMpaSpace> {
-        let want = Self::order_of(bytes);
+    /// Returns [`CompressoError::OutOfMpaSpace`] if no block (or
+    /// splittable parent) is available, and
+    /// [`CompressoError::UnsupportedAllocSize`] if `bytes` is not one of
+    /// the four supported sizes.
+    pub fn alloc(&mut self, bytes: u32) -> Result<u64, CompressoError> {
+        let want = Self::order_of(bytes)?;
         let mut order = want;
         while order < 4 && self.free[order].is_empty() {
             order += 1;
         }
         if order == 4 {
-            return Err(OutOfMpaSpace);
+            return Err(CompressoError::OutOfMpaSpace);
         }
         let addr = self.free[order].pop().expect("free list checked nonempty");
         // Split down to the wanted order, pushing buddies.
@@ -142,11 +151,14 @@ impl BuddyAllocator {
     /// Frees a block previously allocated with `bytes` size, coalescing
     /// buddies where possible.
     ///
-    /// # Panics
-    ///
-    /// Panics if `bytes` is not one of the four supported sizes.
+    /// An unsupported size is debug-asserted and rounded up to the size
+    /// class the matching `alloc` would have used, so release builds keep
+    /// consistent accounting rather than aborting.
     pub fn free(&mut self, addr: u64, bytes: u32) {
-        let mut order = Self::order_of(bytes);
+        let mut order = Self::order_of(bytes).unwrap_or_else(|_| {
+            debug_assert!(false, "freed with unsupported size {bytes}");
+            Self::order_of(Self::round_up(bytes)).expect("round_up yields a supported size")
+        });
         self.used -= Self::order_bytes(order);
         let mut addr = addr;
         while order < 3 {
@@ -224,17 +236,21 @@ mod tests {
         let mut b = BuddyAllocator::new(4096);
         let a = b.alloc(512).unwrap();
         // A 4 KB block is no longer available (fragmented).
-        assert_eq!(b.alloc(4096), Err(OutOfMpaSpace));
+        assert_eq!(b.alloc(4096), Err(CompressoError::OutOfMpaSpace));
         // But a 2 KB one is.
         assert!(b.alloc(2048).is_ok());
         b.free(a, 512);
     }
 
     #[test]
-    #[should_panic(expected = "supports 512/1024/2048/4096")]
-    fn buddy_rejects_odd_sizes() {
+    fn buddy_rejects_odd_sizes_with_typed_error() {
         let mut b = BuddyAllocator::new(4096);
-        let _ = b.alloc(1536);
+        assert_eq!(b.alloc(1536), Err(CompressoError::UnsupportedAllocSize(1536)));
+        assert_eq!(b.alloc(0), Err(CompressoError::UnsupportedAllocSize(0)));
+        assert_eq!(b.alloc(8192), Err(CompressoError::UnsupportedAllocSize(8192)));
+        // A rejected request must not leak or consume capacity.
+        assert_eq!(b.used_bytes(), 0);
+        assert!(b.alloc(4096).is_ok());
     }
 
     #[test]

@@ -4,7 +4,10 @@
 use crate::alloc::{BuddyAllocator, ChunkAllocator};
 use crate::config::{CompressoConfig, PageAllocation};
 use crate::device::MemoryDevice;
+use crate::error::CompressoError;
+use crate::faultkit::{FaultPlan, FaultStats, MetadataFault};
 use crate::metadata::{LineLocation, PageMeta, CHUNK_BYTES, LINES_PER_PAGE, PAGE_BYTES};
+use crate::metadata_codec;
 use crate::mcache::MetadataCache;
 use crate::predictor::OverflowPredictor;
 use crate::stats::DeviceStats;
@@ -19,6 +22,9 @@ const METADATA_BASE: u64 = 1 << 40;
 /// Free-prefetch buffer depth (compressed 64 B bursts kept by the
 /// controller; a fill whose bytes are already buffered needs no DRAM).
 const PREFETCH_BUFFER: usize = 16;
+/// Bounded backoff: a refused chunk/block allocation is retried this many
+/// times before the page degrades (see DESIGN.md, fault model).
+const MAX_ALLOC_RETRIES: u32 = 3;
 
 /// The line compressor a device uses.
 #[derive(Debug, Clone, Copy)]
@@ -73,6 +79,63 @@ pub struct CompressoDevice {
     size_cache: HashMap<(u64, u64), u8>,
     prefetch: VecDeque<(u64, u32)>,
     stats: DeviceStats,
+    faults: Option<FaultPlan>,
+}
+
+/// One chunk allocation with bounded retry against an injected refusal.
+/// A genuine [`OutOfMpaSpace`](CompressoError::OutOfMpaSpace) fails
+/// immediately (retrying cannot clear real exhaustion — ballooning can).
+pub(crate) fn alloc_chunk_with_retry(
+    alloc: &mut ChunkAllocator,
+    faults: &mut Option<FaultPlan>,
+    stats: &mut DeviceStats,
+) -> Result<u32, CompressoError> {
+    for attempt in 0..=MAX_ALLOC_RETRIES {
+        if let Some(f) = faults.as_mut() {
+            if f.alloc_refused() {
+                stats.injected_faults += 1;
+                if attempt == MAX_ALLOC_RETRIES {
+                    stats.alloc_failures += 1;
+                    return Err(CompressoError::OutOfMpaSpace);
+                }
+                stats.alloc_retries += 1;
+                continue;
+            }
+        }
+        return alloc.alloc().map_err(|e| {
+            stats.alloc_failures += 1;
+            e.into()
+        });
+    }
+    unreachable!("loop returns on the last attempt")
+}
+
+/// As [`alloc_chunk_with_retry`] for a variable-size buddy block.
+pub(crate) fn alloc_buddy_with_retry(
+    alloc: &mut BuddyAllocator,
+    bytes: u32,
+    faults: &mut Option<FaultPlan>,
+    stats: &mut DeviceStats,
+) -> Result<u64, CompressoError> {
+    for attempt in 0..=MAX_ALLOC_RETRIES {
+        if let Some(f) = faults.as_mut() {
+            if f.alloc_refused() {
+                stats.injected_faults += 1;
+                if attempt == MAX_ALLOC_RETRIES {
+                    stats.alloc_failures += 1;
+                    return Err(CompressoError::OutOfMpaSpace);
+                }
+                stats.alloc_retries += 1;
+                continue;
+            }
+        }
+        return alloc.alloc(bytes).inspect_err(|&e| {
+            if e == CompressoError::OutOfMpaSpace {
+                stats.alloc_failures += 1;
+            }
+        });
+    }
+    unreachable!("loop returns on the last attempt")
 }
 
 impl std::fmt::Debug for CompressoDevice {
@@ -113,7 +176,27 @@ impl CompressoDevice {
             size_cache: HashMap::new(),
             prefetch: VecDeque::new(),
             stats: DeviceStats::default(),
+            faults: None,
         }
+    }
+
+    /// Attaches a deterministic fault-injection plan. The default is
+    /// `None`, which costs nothing on the hot path; with a plan attached
+    /// the device degrades per the DESIGN.md fault policy instead of
+    /// panicking.
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// Injection counters of the attached fault plan, if any.
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.faults.as_ref().map(|f| f.stats())
+    }
+
+    /// Records a balloon-driver inflate retry against this device's
+    /// stats (the oskit `MpaController::on_balloon_retry` hook).
+    pub fn note_balloon_retry(&mut self) {
+        self.stats.balloon_retries += 1;
     }
 
     /// The configuration in use.
@@ -175,19 +258,33 @@ impl CompressoDevice {
     }
 
     /// Allocates backing storage of `bytes` for `page`, returning chunk
-    /// frame numbers covering the logical page in order.
-    fn allocate_page(&mut self, page: u64, bytes: u32) -> Vec<u32> {
+    /// frame numbers covering the logical page in order. On failure no
+    /// storage is held (partial chunk grants are rolled back).
+    fn allocate_page(&mut self, page: u64, bytes: u32) -> Result<Vec<u32>, CompressoError> {
         if bytes == 0 {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         match &mut self.alloc {
-            Allocator::Chunks(a) => (0..bytes.div_ceil(CHUNK_BYTES))
-                .map(|_| a.alloc().expect("MPA exhausted: balloon before this point"))
-                .collect(),
+            Allocator::Chunks(a) => {
+                let mut chunks = Vec::new();
+                for _ in 0..bytes.div_ceil(CHUNK_BYTES) {
+                    match alloc_chunk_with_retry(a, &mut self.faults, &mut self.stats) {
+                        Ok(c) => chunks.push(c),
+                        Err(e) => {
+                            for c in chunks {
+                                a.free(c);
+                            }
+                            return Err(e);
+                        }
+                    }
+                }
+                Ok(chunks)
+            }
             Allocator::Buddy(a) => {
-                let base = a.alloc(bytes).expect("MPA exhausted: balloon before this point");
+                let base =
+                    alloc_buddy_with_retry(a, bytes, &mut self.faults, &mut self.stats)?;
                 self.buddy_base.insert(page, base);
-                (0..bytes.div_ceil(CHUNK_BYTES)).map(|i| (base / 512) as u32 + i).collect()
+                Ok((0..bytes.div_ceil(CHUNK_BYTES)).map(|i| (base / 512) as u32 + i).collect())
             }
         }
     }
@@ -209,30 +306,55 @@ impl CompressoDevice {
 
     /// Grows (or shrinks) a page's allocation to `new_bytes`, preserving
     /// the chunk prefix where possible (Chunks512) or reallocating
-    /// (Variable4). Returns the new chunk list.
-    fn resize_page(&mut self, page: u64, meta: &PageMeta, new_bytes: u32) -> Vec<u32> {
+    /// (Variable4). Returns the new chunk list. On failure the page's
+    /// existing allocation is left untouched, so every caller can keep
+    /// the old layout as its degraded fallback.
+    fn resize_page(
+        &mut self,
+        page: u64,
+        meta: &PageMeta,
+        new_bytes: u32,
+    ) -> Result<Vec<u32>, CompressoError> {
         match &mut self.alloc {
             Allocator::Chunks(a) => {
                 let mut chunks = meta.chunks.clone();
                 let want = new_bytes.div_ceil(CHUNK_BYTES) as usize;
                 while chunks.len() < want {
-                    chunks.push(a.alloc().expect("MPA exhausted: balloon before this point"));
+                    match alloc_chunk_with_retry(a, &mut self.faults, &mut self.stats) {
+                        Ok(c) => chunks.push(c),
+                        Err(e) => {
+                            while chunks.len() > meta.chunks.len() {
+                                a.free(chunks.pop().expect("nonempty"));
+                            }
+                            return Err(e);
+                        }
+                    }
                 }
                 while chunks.len() > want {
                     a.free(chunks.pop().expect("nonempty"));
                 }
-                chunks
+                Ok(chunks)
             }
             Allocator::Buddy(a) => {
-                if let Some(base) = self.buddy_base.remove(&page) {
-                    a.free(base, meta.page_bytes.max(512));
+                // Allocate the new block before freeing the old one, so a
+                // refused allocation leaves the page's layout intact.
+                let new_base = if new_bytes == 0 {
+                    None
+                } else {
+                    Some(alloc_buddy_with_retry(a, new_bytes, &mut self.faults, &mut self.stats)?)
+                };
+                if let Some(old) = self.buddy_base.remove(&page) {
+                    a.free(old, meta.page_bytes.max(512));
                 }
-                if new_bytes == 0 {
-                    return Vec::new();
+                match new_base {
+                    None => Ok(Vec::new()),
+                    Some(base) => {
+                        self.buddy_base.insert(page, base);
+                        Ok((0..new_bytes.div_ceil(CHUNK_BYTES))
+                            .map(|i| (base / 512) as u32 + i)
+                            .collect())
+                    }
                 }
-                let base = a.alloc(new_bytes).expect("MPA exhausted: balloon before this point");
-                self.buddy_base.insert(page, base);
-                (0..new_bytes.div_ceil(CHUNK_BYTES)).map(|i| (base / 512) as u32 + i).collect()
             }
         }
     }
@@ -261,15 +383,19 @@ impl CompressoDevice {
             // half-entry optimization (§IV-B5).
             let compressed = data_bytes < PAGE_BYTES;
             let page_bytes = self.cfg.allocation.fit(data_bytes.max(1));
-            let chunks = self.allocate_page(page, page_bytes);
-            PageMeta {
-                valid: true,
-                zero: false,
-                compressed,
-                page_bytes,
-                chunks,
-                line_bins: bins,
-                inflated: Vec::new(),
+            match self.allocate_page(page, page_bytes) {
+                Ok(chunks) => PageMeta {
+                    valid: true,
+                    zero: false,
+                    compressed,
+                    page_bytes,
+                    chunks,
+                    line_bins: bins,
+                    inflated: Vec::new(),
+                },
+                // Degraded: hold the page as all-zero; the first
+                // writeback with real data retries the allocation.
+                Err(_) => PageMeta::zero_page(),
             }
         };
         self.pages.insert(page, meta);
@@ -311,6 +437,9 @@ impl CompressoDevice {
             let r = self.mem.read(now, Self::metadata_addr(page));
             self.stats.metadata_accesses += 1;
             t = r.complete_at;
+            // The entry just crossed the DRAM bus: this is where an
+            // injected corruption lands.
+            t = self.maybe_corrupt_metadata(t, page);
         }
         for (victim, victim_dirty) in access.evicted {
             if victim_dirty {
@@ -322,7 +451,102 @@ impl CompressoDevice {
                 self.maybe_repack(t, victim);
             }
         }
+        // Forced eviction storm: flush extra LRU entries through the
+        // normal eviction pipeline (dirty writeback + repack trigger).
+        if let Some(n) = self.faults.as_mut().and_then(|f| f.eviction_storm()) {
+            self.stats.injected_faults += 1;
+            self.stats.eviction_storms += 1;
+            for (victim, victim_dirty) in self.mcache.evict_up_to(n) {
+                if victim_dirty {
+                    self.mem.write(t, Self::metadata_addr(victim));
+                    self.stats.metadata_accesses += 1;
+                }
+                self.predictor.on_mcache_eviction(victim);
+                if self.cfg.repacking {
+                    self.maybe_repack(t, victim);
+                }
+            }
+        }
         t
+    }
+
+    /// Fault hook on a metadata-cache miss: the 64 B entry fetched from
+    /// DRAM may be corrupted. A bit flip is applied to the page's packed
+    /// encoding; if it is detectable (decode error, or a decoded entry
+    /// that differs from the controller's committed view) the page takes
+    /// the uncompressed fallback. Flips landing in padding or spare bits
+    /// decode identically and are harmless.
+    fn maybe_corrupt_metadata(&mut self, now: u64, page: u64) -> u64 {
+        let Some(fault) = self.faults.as_mut().and_then(|f| f.metadata_fetch_fault()) else {
+            return now;
+        };
+        self.stats.injected_faults += 1;
+        match fault {
+            MetadataFault::DecodeFailure => self.corruption_fallback(now, page),
+            MetadataFault::BitFlip { bit } => {
+                let Some(meta) = self.pages.get(&page) else { return now };
+                let original = meta.clone();
+                let Ok(mut packed) = metadata_codec::try_encode(meta, &self.cfg.bins) else {
+                    return now;
+                };
+                packed[(bit / 8) % metadata_codec::PACKED_BYTES] ^= 1 << (bit % 8);
+                match metadata_codec::decode(&packed, &self.cfg.bins) {
+                    Err(_) => self.corruption_fallback(now, page),
+                    Ok(flipped) if flipped != original => self.corruption_fallback(now, page),
+                    Ok(_) => now,
+                }
+            }
+        }
+    }
+
+    /// Degrades `page` after detected metadata corruption: re-read the
+    /// live data and rewrite the page uncompressed (a zero page only
+    /// rebuilds its entry). The extra traffic is charged to
+    /// [`DeviceStats::fault_extra`].
+    fn corruption_fallback(&mut self, now: u64, page: u64) -> u64 {
+        let Some(meta) = self.pages.get(&page).cloned() else { return now };
+        if !meta.valid {
+            return now;
+        }
+        self.stats.corruption_fallbacks += 1;
+        if meta.zero {
+            self.pages.insert(page, PageMeta::zero_page());
+            return now;
+        }
+        if !meta.compressed && meta.page_bytes == PAGE_BYTES {
+            // Already stored raw: rebuilding the entry is metadata-only.
+            return now;
+        }
+        let old_used = meta.used_bytes(&self.cfg.bins);
+        match self.resize_page(page, &meta, PAGE_BYTES) {
+            Ok(chunks) => {
+                let moves = old_used.div_ceil(64) + LINES_PER_PAGE as u32;
+                let mut t = now;
+                for i in 0..moves {
+                    let addr =
+                        page * PAGE_BYTES as u64 + (i as u64 % LINES_PER_PAGE as u64) * 64;
+                    let r =
+                        if i % 2 == 0 { self.mem.read(t, addr) } else { self.mem.write(t, addr) };
+                    t = t.max(r.complete_at);
+                }
+                self.stats.fault_extra += moves as u64;
+                let m = self.pages.get_mut(&page).expect("cloned above");
+                m.compressed = false;
+                m.zero = false;
+                m.inflated.clear();
+                m.chunks = chunks;
+                m.page_bytes = PAGE_BYTES;
+                t
+            }
+            Err(_) => {
+                // No room even for the raw frame: drop to the zero state
+                // and release the held storage; the next writeback with
+                // real data reallocates.
+                self.release_chunks(page, &meta);
+                self.pages.insert(page, PageMeta::zero_page());
+                now
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -352,6 +576,10 @@ impl CompressoDevice {
         if new_bytes + CHUNK_BYTES > old_bytes {
             return; // would not free a chunk: not worth the movement
         }
+        // Resize first: a refused allocation must leave the page (and the
+        // stats) untouched — the repack simply does not happen.
+        let old_meta = self.pages.get(&page).expect("checked above").clone();
+        let Ok(chunks) = self.resize_page(page, &old_meta, new_bytes) else { return };
         // Movement: read the live data, write it repacked.
         let moves = old_used.div_ceil(64) + new_data.div_ceil(64);
         for i in 0..moves {
@@ -372,9 +600,6 @@ impl CompressoDevice {
         meta.inflated.clear();
         meta.zero = all_zero;
         meta.compressed = new_data < PAGE_BYTES;
-        let old_meta = meta.clone();
-        let chunks = self.resize_page(page, &old_meta, new_bytes);
-        let meta = self.pages.get_mut(&page).expect("checked above");
         meta.chunks = chunks;
         meta.page_bytes = new_bytes;
     }
@@ -399,6 +624,9 @@ impl CompressoDevice {
             self.stats.page_overflows += 1;
             self.predictor.page_overflow();
         }
+        // Resize before charging movement or touching metadata: a refused
+        // allocation keeps the old (stale but consistent) layout.
+        let Ok(chunks) = self.resize_page(page, &meta, new_bytes) else { return now };
         let old_used = meta.used_bytes(&self.cfg.bins);
         let moves = old_used.div_ceil(64) + new_data.div_ceil(64);
         let mut t = now;
@@ -409,7 +637,6 @@ impl CompressoDevice {
         }
         self.stats.overflow_extra += moves as u64;
 
-        let chunks = self.resize_page(page, &meta, new_bytes);
         let compressed = new_data < PAGE_BYTES;
         let meta = self.pages.get_mut(&page).expect("page exists");
         meta.line_bins = bins;
@@ -422,8 +649,11 @@ impl CompressoDevice {
     }
 
     /// Speculatively stores the whole page uncompressed (predictor hit).
-    fn inflate_page(&mut self, now: u64, page: u64) {
+    /// Returns `false` (page untouched) if the allocation was refused —
+    /// the caller falls back to ordinary overflow handling.
+    fn inflate_page(&mut self, now: u64, page: u64) -> bool {
         let meta = self.pages.get(&page).expect("page exists").clone();
+        let Ok(chunks) = self.resize_page(page, &meta, PAGE_BYTES) else { return false };
         let old_used = meta.used_bytes(&self.cfg.bins);
         let moves = old_used.div_ceil(64) + LINES_PER_PAGE as u32;
         for i in 0..moves {
@@ -437,13 +667,13 @@ impl CompressoDevice {
         self.stats.overflow_extra += moves as u64;
         self.stats.predictor_inflations += 1;
 
-        let chunks = self.resize_page(page, &meta, PAGE_BYTES);
         let meta = self.pages.get_mut(&page).expect("page exists");
         meta.compressed = false;
         meta.zero = false;
         meta.inflated.clear();
         meta.chunks = chunks;
         meta.page_bytes = PAGE_BYTES;
+        true
     }
 }
 
@@ -550,7 +780,12 @@ impl Backend for CompressoDevice {
             // First real data lands in an all-zero page: allocate the
             // smallest page and place the line.
             let page_bytes = self.cfg.allocation.fit(new_bin.bytes.max(1) as u32);
-            let chunks = self.allocate_page(page, page_bytes);
+            let Ok(chunks) = self.allocate_page(page, page_bytes) else {
+                // Degraded: absorb the write in metadata and stay a zero
+                // page; the next writeback retries the allocation.
+                self.stats.zero_writebacks += 1;
+                return t;
+            };
             let meta = self.pages.get_mut(&page).expect("ensured");
             meta.zero = false;
             meta.page_bytes = page_bytes;
@@ -637,8 +872,9 @@ impl CompressoDevice {
         self.predictor.line_overflow(page);
 
         // Page-overflow prediction: store the whole page uncompressed.
-        if self.cfg.prediction && self.predictor.should_inflate(page) {
-            self.inflate_page(now, page);
+        // A refused inflation falls through to the ordinary handling.
+        if self.cfg.prediction && self.predictor.should_inflate(page) && self.inflate_page(now, page)
+        {
             let meta = self.pages.get(&page).expect("page exists");
             let chunks = meta.chunks.clone();
             let bursts = Self::bursts(&chunks, line as u32 * 64, 64);
@@ -665,7 +901,9 @@ impl CompressoDevice {
             return now;
         }
 
-        // Dynamic inflation-room expansion: allocate one more chunk.
+        // Dynamic inflation-room expansion: allocate one more chunk. A
+        // refused chunk falls through to recompression, which has its own
+        // degraded path.
         if self.cfg.ir_expansion
             && self.cfg.allocation == PageAllocation::Chunks512
             && meta.chunks.len() < 8
@@ -673,20 +911,21 @@ impl CompressoDevice {
         {
             let old = meta.clone();
             let new_bytes = old.page_bytes + CHUNK_BYTES;
-            let chunks = self.resize_page(page, &old, new_bytes);
-            let meta = self.pages.get_mut(&page).expect("page exists");
-            meta.chunks = chunks;
-            meta.page_bytes = new_bytes;
-            meta.inflated.push(line as u8);
-            self.stats.ir_expansions += 1;
-            let meta = self.pages.get(&page).expect("page exists");
-            if let LineLocation::Inflated { offset } = meta.locate(line, &self.cfg.bins) {
-                let chunks = meta.chunks.clone();
-                let bursts = Self::bursts(&chunks, offset, 64);
-                self.mem.write(now, bursts[0]);
-                self.stats.data_accesses += 1;
+            if let Ok(chunks) = self.resize_page(page, &old, new_bytes) {
+                let meta = self.pages.get_mut(&page).expect("page exists");
+                meta.chunks = chunks;
+                meta.page_bytes = new_bytes;
+                meta.inflated.push(line as u8);
+                self.stats.ir_expansions += 1;
+                let meta = self.pages.get(&page).expect("page exists");
+                if let LineLocation::Inflated { offset } = meta.locate(line, &self.cfg.bins) {
+                    let chunks = meta.chunks.clone();
+                    let bursts = Self::bursts(&chunks, offset, 64);
+                    self.mem.write(now, bursts[0]);
+                    self.stats.data_accesses += 1;
+                }
+                return now;
             }
-            return now;
         }
 
         // Worst case: recompress the page (Fig. 5c, Option 1).

@@ -1,0 +1,113 @@
+//! The unified error type for the device stack.
+//!
+//! Historically the controller model asserted on every impossible state
+//! (`panic!("MPA exhausted")`, `panic!("invalid 2-bit size code")`, …).
+//! Fault injection makes those states reachable on purpose, so the core
+//! paths return typed errors instead and the devices degrade gracefully
+//! (see the "Fault model & degradation policy" section of DESIGN.md).
+
+use crate::alloc::OutOfMpaSpace;
+use crate::metadata_codec::DecodeMetadataError;
+
+/// Any error the Compresso / LCP device stack can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompressoError {
+    /// Machine physical space is exhausted — the ballooning trigger
+    /// (§V-B).
+    OutOfMpaSpace,
+    /// An allocation was requested in a size the buddy allocator does not
+    /// offer (not one of 512/1024/2048/4096 bytes).
+    UnsupportedAllocSize(u32),
+    /// A packed metadata entry failed to decode (§Fig. 3 field out of
+    /// range).
+    DecodeMetadata(DecodeMetadataError),
+    /// A metadata entry was detected as corrupted (e.g. an injected bit
+    /// flip); the page can no longer be located through it.
+    CorruptMetadata {
+        /// The OSPA page whose entry is corrupt.
+        page: u64,
+    },
+    /// A 2-bit LinePack size code outside the bin set reached the offset
+    /// circuit.
+    InvalidLineCode(u8),
+    /// A line index at or above 64 reached the offset circuit.
+    LineIndexOutOfRange(usize),
+    /// A metadata-cache capacity that does not yield a valid set count.
+    InvalidCacheGeometry {
+        /// The rejected capacity.
+        capacity_bytes: u64,
+    },
+    /// An in-memory entry violates the packed format's hardware limits
+    /// and cannot be serialized.
+    UnencodableMetadata(&'static str),
+}
+
+impl std::fmt::Display for CompressoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompressoError::OutOfMpaSpace => OutOfMpaSpace.fmt(f),
+            CompressoError::UnsupportedAllocSize(bytes) => {
+                write!(f, "buddy allocator supports 512/1024/2048/4096 byte blocks, got {bytes}")
+            }
+            CompressoError::DecodeMetadata(e) => write!(f, "metadata decode failed: {e}"),
+            CompressoError::CorruptMetadata { page } => {
+                write!(f, "metadata entry for page {page} is corrupt")
+            }
+            CompressoError::InvalidLineCode(c) => write!(f, "invalid 2-bit size code {c}"),
+            CompressoError::LineIndexOutOfRange(i) => {
+                write!(f, "line index {i} out of range (0..64)")
+            }
+            CompressoError::InvalidCacheGeometry { capacity_bytes } => {
+                write!(f, "metadata cache capacity {capacity_bytes} B yields no valid set count")
+            }
+            CompressoError::UnencodableMetadata(why) => {
+                write!(f, "metadata entry cannot be packed: {why}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompressoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompressoError::DecodeMetadata(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<OutOfMpaSpace> for CompressoError {
+    fn from(_: OutOfMpaSpace) -> Self {
+        CompressoError::OutOfMpaSpace
+    }
+}
+
+impl From<DecodeMetadataError> for CompressoError {
+    fn from(e: DecodeMetadataError) -> Self {
+        CompressoError::DecodeMetadata(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(CompressoError::OutOfMpaSpace.to_string().contains("exhausted"));
+        assert!(CompressoError::UnsupportedAllocSize(1536).to_string().contains("1536"));
+        assert!(CompressoError::InvalidLineCode(4).to_string().contains('4'));
+        assert!(CompressoError::CorruptMetadata { page: 7 }.to_string().contains('7'));
+        assert!(CompressoError::LineIndexOutOfRange(64).to_string().contains("64"));
+    }
+
+    #[test]
+    fn conversions_preserve_meaning() {
+        let e: CompressoError = OutOfMpaSpace.into();
+        assert_eq!(e, CompressoError::OutOfMpaSpace);
+        let e: CompressoError = DecodeMetadataError::BadChunkCount(9).into();
+        assert_eq!(e, CompressoError::DecodeMetadata(DecodeMetadataError::BadChunkCount(9)));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

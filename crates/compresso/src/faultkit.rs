@@ -1,0 +1,305 @@
+//! Deterministic fault injection for the device stack.
+//!
+//! A [`FaultPlan`] is a seeded stream of adverse events that a device
+//! consults at well-defined hook points: metadata fetches from DRAM
+//! (bit flips and hard decode failures), chunk/block allocations (forced
+//! refusals), metadata-cache accesses (forced eviction storms), and
+//! balloon-driver inflates (refusals). Devices hold an
+//! `Option<FaultPlan>` that defaults to `None`, so production runs pay a
+//! single never-taken branch per hook and draw no randomness at all.
+//!
+//! Determinism is the point: the same seed against the same access
+//! stream injects the same faults in the same order, so a chaos run is
+//! exactly reproducible (asserted by `fault_tests.rs`).
+
+/// A fault produced at a metadata-fetch hook.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetadataFault {
+    /// One bit of the 64 B packed entry reads flipped. Depending on where
+    /// the bit lands this is harmless (padding / spare / tracked-free
+    /// bits) or detected corruption.
+    BitFlip {
+        /// Bit index within the 512-bit entry.
+        bit: usize,
+    },
+    /// The entry is unreadable outright (modelling an uncorrectable ECC
+    /// error on the metadata region).
+    DecodeFailure,
+}
+
+/// Per-kind injection rates, in events per thousand opportunities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// ‰ of metadata DRAM fetches that read one bit flipped.
+    pub bit_flip_per_mille: u32,
+    /// ‰ of metadata DRAM fetches that fail to decode entirely.
+    pub decode_failure_per_mille: u32,
+    /// ‰ of chunk/block allocations that are (transiently) refused.
+    pub alloc_failure_per_mille: u32,
+    /// ‰ of metadata-cache misses that trigger a forced eviction storm.
+    pub eviction_storm_per_mille: u32,
+    /// Entries flushed per eviction storm.
+    pub storm_evictions: usize,
+    /// ‰ of balloon inflate attempts that the OS refuses.
+    pub balloon_refusal_per_mille: u32,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self {
+            bit_flip_per_mille: 0,
+            decode_failure_per_mille: 0,
+            alloc_failure_per_mille: 0,
+            eviction_storm_per_mille: 0,
+            storm_evictions: 32,
+            balloon_refusal_per_mille: 0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A hostile preset exercising every fault kind at rates high enough
+    /// that short chaos runs hit all of them.
+    pub fn aggressive() -> Self {
+        Self {
+            bit_flip_per_mille: 50,
+            decode_failure_per_mille: 35,
+            // Allocation and decode hooks fire far less often than
+            // metadata accesses, so their rates are high enough that even
+            // a few-thousand-access chaos run draws every kind.
+            alloc_failure_per_mille: 150,
+            eviction_storm_per_mille: 10,
+            storm_evictions: 64,
+            balloon_refusal_per_mille: 400,
+        }
+    }
+}
+
+/// Count of faults injected so far, by kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Metadata bit flips injected.
+    pub bit_flips: u64,
+    /// Metadata decode failures injected.
+    pub decode_failures: u64,
+    /// Allocation refusals injected.
+    pub alloc_refusals: u64,
+    /// Eviction storms injected.
+    pub eviction_storms: u64,
+    /// Balloon-inflate refusals injected.
+    pub balloon_refusals: u64,
+}
+
+impl FaultStats {
+    /// Total faults injected across all kinds.
+    pub fn total(&self) -> u64 {
+        self.bit_flips
+            + self.decode_failures
+            + self.alloc_refusals
+            + self.eviction_storms
+            + self.balloon_refusals
+    }
+
+    /// Number of distinct fault kinds that fired at least once.
+    pub fn distinct_kinds(&self) -> usize {
+        [
+            self.bit_flips,
+            self.decode_failures,
+            self.alloc_refusals,
+            self.eviction_storms,
+            self.balloon_refusals,
+        ]
+        .iter()
+        .filter(|&&n| n > 0)
+        .count()
+    }
+}
+
+/// A seeded, deterministic schedule of faults.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    cfg: FaultConfig,
+    state: u64,
+    stats: FaultStats,
+}
+
+impl FaultPlan {
+    /// Creates a plan drawing from `seed` with the given rates.
+    pub fn new(seed: u64, cfg: FaultConfig) -> Self {
+        // SplitMix64 finalizer spreads nearby seeds apart and keeps the
+        // xorshift state nonzero.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        Self { seed, cfg, state: z | 1, stats: FaultStats::default() }
+    }
+
+    /// A plan using the [`FaultConfig::aggressive`] preset.
+    pub fn aggressive(seed: u64) -> Self {
+        Self::new(seed, FaultConfig::aggressive())
+    }
+
+    /// The seed this plan was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The configured rates.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Faults injected so far.
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    /// xorshift64*: tiny, fast, and plenty for fault scheduling.
+    fn next(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// One draw against a per-mille rate. Always consumes a draw so that
+    /// the schedule of one fault kind does not shift when another kind's
+    /// rate changes.
+    fn roll(&mut self, per_mille: u32) -> bool {
+        (self.next() % 1000) < per_mille as u64
+    }
+
+    /// Hook: a metadata entry was fetched from DRAM. Returns the fault to
+    /// apply, if any.
+    pub fn metadata_fetch_fault(&mut self) -> Option<MetadataFault> {
+        let decode = self.roll(self.cfg.decode_failure_per_mille);
+        let flip = self.roll(self.cfg.bit_flip_per_mille);
+        let bit = (self.next() % 512) as usize;
+        if decode {
+            self.stats.decode_failures += 1;
+            Some(MetadataFault::DecodeFailure)
+        } else if flip {
+            self.stats.bit_flips += 1;
+            Some(MetadataFault::BitFlip { bit })
+        } else {
+            None
+        }
+    }
+
+    /// Hook: a chunk/block allocation is about to be attempted. Returns
+    /// `true` if the attempt must be refused.
+    pub fn alloc_refused(&mut self) -> bool {
+        let refused = self.roll(self.cfg.alloc_failure_per_mille);
+        if refused {
+            self.stats.alloc_refusals += 1;
+        }
+        refused
+    }
+
+    /// Hook: a metadata-cache miss occurred. Returns the number of
+    /// entries to forcibly evict, if a storm fires.
+    pub fn eviction_storm(&mut self) -> Option<usize> {
+        if self.roll(self.cfg.eviction_storm_per_mille) {
+            self.stats.eviction_storms += 1;
+            Some(self.cfg.storm_evictions)
+        } else {
+            None
+        }
+    }
+
+    /// Hook: the balloon driver is about to inflate. Returns `true` if
+    /// the OS refuses to hand pages back.
+    pub fn balloon_refused(&mut self) -> bool {
+        let refused = self.roll(self.cfg.balloon_refusal_per_mille);
+        if refused {
+            self.stats.balloon_refusals += 1;
+        }
+        refused
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let mut a = FaultPlan::aggressive(42);
+        let mut b = FaultPlan::aggressive(42);
+        for _ in 0..2000 {
+            assert_eq!(a.metadata_fetch_fault(), b.metadata_fetch_fault());
+            assert_eq!(a.alloc_refused(), b.alloc_refused());
+            assert_eq!(a.eviction_storm(), b.eviction_storm());
+            assert_eq!(a.balloon_refused(), b.balloon_refused());
+        }
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = FaultPlan::aggressive(1);
+        let mut b = FaultPlan::aggressive(2);
+        let same = (0..256)
+            .filter(|_| a.metadata_fetch_fault() == b.metadata_fetch_fault())
+            .count();
+        assert!(same < 256, "seeds 1 and 2 must not produce identical schedules");
+    }
+
+    #[test]
+    fn aggressive_preset_hits_every_kind() {
+        let mut plan = FaultPlan::aggressive(7);
+        for _ in 0..4000 {
+            let _ = plan.metadata_fetch_fault();
+            let _ = plan.alloc_refused();
+            let _ = plan.eviction_storm();
+            let _ = plan.balloon_refused();
+        }
+        let s = plan.stats();
+        assert_eq!(s.distinct_kinds(), 5, "all five kinds must fire: {s:?}");
+        assert_eq!(
+            s.total(),
+            s.bit_flips + s.decode_failures + s.alloc_refusals + s.eviction_storms
+                + s.balloon_refusals
+        );
+    }
+
+    #[test]
+    fn default_config_injects_nothing() {
+        let mut plan = FaultPlan::new(9, FaultConfig::default());
+        for _ in 0..1000 {
+            assert_eq!(plan.metadata_fetch_fault(), None);
+            assert!(!plan.alloc_refused());
+            assert_eq!(plan.eviction_storm(), None);
+            assert!(!plan.balloon_refused());
+        }
+        assert_eq!(plan.stats().total(), 0);
+    }
+
+    #[test]
+    fn rates_are_approximately_respected() {
+        let cfg = FaultConfig { alloc_failure_per_mille: 250, ..FaultConfig::default() };
+        let mut plan = FaultPlan::new(3, cfg);
+        let refused = (0..10_000).filter(|_| plan.alloc_refused()).count();
+        assert!((2000..3000).contains(&refused), "≈25% expected, got {refused}/10000");
+    }
+
+    #[test]
+    fn bit_flip_positions_cover_the_entry() {
+        let cfg = FaultConfig { bit_flip_per_mille: 1000, ..FaultConfig::default() };
+        let mut plan = FaultPlan::new(11, cfg);
+        let mut low = false;
+        let mut high = false;
+        for _ in 0..200 {
+            if let Some(MetadataFault::BitFlip { bit }) = plan.metadata_fetch_fault() {
+                assert!(bit < 512);
+                low |= bit < 256;
+                high |= bit >= 256;
+            }
+        }
+        assert!(low && high, "flips must land across the whole 512-bit entry");
+    }
+}

@@ -8,8 +8,9 @@
 //! (wrong speculation on exception lines costs an extra access).
 
 use crate::alloc::BuddyAllocator;
-use crate::compresso::Codec;
+use crate::compresso::{alloc_buddy_with_retry, Codec};
 use crate::device::MemoryDevice;
+use crate::faultkit::{FaultPlan, FaultStats};
 use crate::lcp::{plan, LcpPlan};
 use crate::mcache::MetadataCache;
 use crate::metadata::{LINES_PER_PAGE, PAGE_BYTES};
@@ -51,6 +52,7 @@ pub struct LcpDevice {
     stats: DeviceStats,
     codec_latency: u64,
     mcache_hit_latency: u64,
+    faults: Option<FaultPlan>,
 }
 
 impl std::fmt::Debug for LcpDevice {
@@ -90,7 +92,20 @@ impl LcpDevice {
             stats: DeviceStats::default(),
             codec_latency: 12,
             mcache_hit_latency: 2,
+            faults: None,
         }
+    }
+
+    /// Attaches a deterministic fault-injection plan (`None` by default;
+    /// see [`crate::FaultPlan`]). Corrupted metadata is re-planned
+    /// through the OS page-fault path instead of panicking.
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// Injection counters of the attached fault plan, if any.
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.faults.as_ref().map(|f| f.stats())
     }
 
     fn line_size(&mut self, line_addr: u64) -> usize {
@@ -137,7 +152,31 @@ impl LcpDevice {
         let base = if page_bytes == 0 {
             0
         } else {
-            self.alloc.alloc(page_bytes).expect("MPA exhausted")
+            match alloc_buddy_with_retry(
+                &mut self.alloc,
+                page_bytes,
+                &mut self.faults,
+                &mut self.stats,
+            ) {
+                Ok(b) => b,
+                Err(_) => {
+                    // Degraded: hold the page as an unmapped all-zero
+                    // plan; the first writeback with real data re-plans
+                    // it through the OS page-fault path.
+                    let zero_plan = plan_for_zero_page(&self.bins);
+                    self.pages.insert(
+                        page,
+                        LcpMeta {
+                            plan: zero_plan,
+                            page_bytes: 0,
+                            base: 0,
+                            zero_lines: [true; LINES_PER_PAGE],
+                            all_zero: true,
+                        },
+                    );
+                    return;
+                }
+            }
         };
         self.pages.insert(page, LcpMeta { plan, page_bytes, base, zero_lines, all_zero });
     }
@@ -161,6 +200,16 @@ impl LcpDevice {
     /// is a page fault.
     fn page_overflow(&mut self, now: u64, page: u64) -> u64 {
         self.stats.page_overflows += 1;
+        self.replan_page(now, page, false)
+    }
+
+    /// The OS re-plan itself: recompute the LCP layout from current line
+    /// sizes and move the page to a fresh allocation. A refused
+    /// allocation keeps the old plan (degraded), charging only the trap.
+    /// `fault` routes the movement traffic to
+    /// [`DeviceStats::fault_extra`] (corruption recovery) instead of
+    /// `overflow_extra`.
+    fn replan_page(&mut self, now: u64, page: u64, fault: bool) -> u64 {
         let mut sizes = [0usize; LINES_PER_PAGE];
         for (line, size) in sizes.iter_mut().enumerate() {
             let addr = page * PAGE_BYTES as u64 + line as u64 * 64;
@@ -168,6 +217,21 @@ impl LcpDevice {
         }
         let new_plan = plan(&sizes, &self.bins);
         let new_bytes = Self::page_fit(new_plan.needed_bytes);
+        // Allocate the new frame before freeing the old one, so a refused
+        // allocation leaves the page's layout intact.
+        let new_base = if new_bytes == 0 {
+            0
+        } else {
+            match alloc_buddy_with_retry(
+                &mut self.alloc,
+                new_bytes,
+                &mut self.faults,
+                &mut self.stats,
+            ) {
+                Ok(b) => b,
+                Err(_) => return now + OS_PAGE_FAULT_CYCLES,
+            }
+        };
         let meta = self.pages.get(&page).expect("page exists");
         let moves = meta.plan.needed_bytes.div_ceil(64) + new_plan.needed_bytes.div_ceil(64);
         let mut t = now;
@@ -176,20 +240,60 @@ impl LcpDevice {
             let r = if i % 2 == 0 { self.mem.read(t, addr) } else { self.mem.write(t, addr) };
             t = t.max(r.complete_at);
         }
-        self.stats.overflow_extra += moves as u64;
+        if fault {
+            self.stats.fault_extra += moves as u64;
+        } else {
+            self.stats.overflow_extra += moves as u64;
+        }
         let old_bytes = meta.page_bytes;
         let old_base = meta.base;
         if old_bytes > 0 {
             self.alloc.free(old_base, old_bytes);
         }
-        let base = if new_bytes == 0 { 0 } else { self.alloc.alloc(new_bytes).expect("MPA") };
         let meta = self.pages.get_mut(&page).expect("page exists");
         meta.plan = new_plan;
         meta.page_bytes = new_bytes;
-        meta.base = base;
+        meta.base = new_base;
+        meta.all_zero = new_bytes == 0;
+        for (line, size) in sizes.iter().enumerate() {
+            meta.zero_lines[line] = *size == 0;
+        }
         // The OS trap dominates the latency of an OS-aware overflow.
         t + OS_PAGE_FAULT_CYCLES
     }
+
+    /// Fault hook on a metadata-cache miss: the OS keeps the
+    /// authoritative layout, so any injected corruption of the fetched
+    /// entry is detected and recovered by re-planning the page through
+    /// the page-fault path.
+    fn maybe_corrupt_metadata(&mut self, now: u64, page: u64) -> u64 {
+        if self.faults.as_mut().and_then(|f| f.metadata_fetch_fault()).is_none() {
+            return now;
+        }
+        self.stats.injected_faults += 1;
+        self.stats.corruption_fallbacks += 1;
+        self.replan_page(now, page, true)
+    }
+
+    /// Fault hook: a forced eviction storm flushes extra LRU metadata
+    /// entries (dirty ones cost a DRAM write, as on a normal eviction).
+    fn drain_eviction_storm(&mut self, t: u64) {
+        if let Some(n) = self.faults.as_mut().and_then(|f| f.eviction_storm()) {
+            self.stats.injected_faults += 1;
+            self.stats.eviction_storms += 1;
+            for (victim, dirty) in self.mcache.evict_up_to(n) {
+                if dirty {
+                    self.mem.write(t, Self::metadata_addr(victim));
+                    self.stats.metadata_accesses += 1;
+                }
+            }
+        }
+    }
+}
+
+/// The plan of a page holding no data (all lines zero).
+fn plan_for_zero_page(bins: &BinSet) -> LcpPlan {
+    plan(&[0usize; LINES_PER_PAGE], bins)
 }
 
 impl Backend for LcpDevice {
@@ -199,17 +303,10 @@ impl Backend for LcpDevice {
         let line = ((line_addr % PAGE_BYTES as u64) / 64) as usize;
         self.ensure_page(page);
 
-        let meta = self.pages.get(&page).expect("ensured");
-        let is_exception = meta.plan.exceptions.contains(&(line as u8));
-        let zero = meta.all_zero || meta.zero_lines[line];
-        let target = meta.plan.target;
-        let base = meta.base;
-        let location = meta.plan.offset_of(line);
-
         // Metadata access, possibly with a parallel speculative data read.
         let access = self.mcache.access(page, false, false);
         let mut t_meta = now;
-        let mut speculated = false;
+        let mut miss = false;
         if access.hit {
             self.stats.mcache_hits += 1;
             t_meta += self.mcache_hit_latency;
@@ -218,7 +315,10 @@ impl Backend for LcpDevice {
             let r = self.mem.read(now, Self::metadata_addr(page));
             self.stats.metadata_accesses += 1;
             t_meta = r.complete_at;
-            speculated = !zero && target > 0;
+            // The entry just crossed the DRAM bus: injected corruption
+            // lands here (and may re-plan the page before we read it).
+            t_meta = self.maybe_corrupt_metadata(t_meta, page);
+            miss = true;
         }
         for (victim, dirty) in access.evicted {
             if dirty {
@@ -226,6 +326,15 @@ impl Backend for LcpDevice {
                 self.stats.metadata_accesses += 1;
             }
         }
+        self.drain_eviction_storm(t_meta);
+
+        let meta = self.pages.get(&page).expect("ensured");
+        let is_exception = meta.plan.exceptions.contains(&(line as u8));
+        let zero = meta.all_zero || meta.zero_lines[line];
+        let target = meta.plan.target;
+        let base = meta.base;
+        let location = meta.plan.offset_of(line);
+        let speculated = miss && !zero && target > 0;
 
         if zero {
             self.stats.zero_fills += 1;
@@ -307,6 +416,7 @@ impl Backend for LcpDevice {
             let r = self.mem.read(now, Self::metadata_addr(page));
             self.stats.metadata_accesses += 1;
             t = r.complete_at;
+            t = self.maybe_corrupt_metadata(t, page);
         }
         for (victim, dirty) in access.evicted {
             if dirty {
@@ -314,6 +424,7 @@ impl Backend for LcpDevice {
                 self.stats.metadata_accesses += 1;
             }
         }
+        self.drain_eviction_storm(t);
 
         self.world.on_writeback(line_addr);
         let new_size = self.line_size(line_addr);

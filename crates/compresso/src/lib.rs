@@ -14,7 +14,10 @@
 //! * dynamic page repacking on metadata-cache eviction (§IV-B4);
 //! * the [`lcp`] packing scheme and the OS-aware [`LcpDevice`] baselines;
 //! * a [`stats`] taxonomy matching the paper's data-movement breakdown
-//!   (Fig. 4/6).
+//!   (Fig. 4/6);
+//! * a deterministic fault-injection layer ([`faultkit`]) and a unified
+//!   typed [`error`] path, so corrupted metadata, refused allocations and
+//!   eviction storms degrade gracefully instead of panicking.
 //!
 //! All devices implement [`MemoryDevice`] (and the cache hierarchy's
 //! `Backend`), so the same core/cache simulation runs against the
@@ -39,6 +42,8 @@ pub mod alloc;
 pub mod compresso;
 pub mod config;
 pub mod device;
+pub mod error;
+pub mod faultkit;
 pub mod hugepage;
 pub mod lcp;
 pub mod lcp_device;
@@ -53,6 +58,8 @@ pub use crate::compresso::{Codec, CompressoDevice};
 pub use alloc::{BuddyAllocator, ChunkAllocator, OutOfMpaSpace};
 pub use config::{CompressoConfig, PageAllocation};
 pub use device::{MemoryDevice, UncompressedDevice};
+pub use error::CompressoError;
+pub use faultkit::{FaultConfig, FaultPlan, FaultStats, MetadataFault};
 pub use hugepage::{HugePageMap, OsPageSize};
 pub use lcp::{plan as lcp_plan, LcpPlan};
 pub use lcp_device::{LcpDevice, OS_PAGE_FAULT_CYCLES};

@@ -8,6 +8,8 @@
 //! effective capacity for incompressible data (omnetpp, Forestfire,
 //! Pagerank, Graph500 in Fig. 6).
 
+use crate::error::CompressoError;
+
 /// Result of a metadata-cache access.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct McAccess {
@@ -52,20 +54,23 @@ impl MetadataCache {
     /// Creates a cache of `capacity_bytes` with 8-way-equivalent sets of
     /// full 64 B entries. `half_entries` enables the §IV-B5 optimization.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the capacity does not yield a power-of-two set count.
-    pub fn new(capacity_bytes: u64, half_entries: bool) -> Self {
+    /// Returns [`CompressoError::InvalidCacheGeometry`] if the capacity
+    /// does not yield a power-of-two set count.
+    pub fn new(capacity_bytes: u64, half_entries: bool) -> Result<Self, CompressoError> {
         let set_budget = 8 * 64u32;
         let sets = capacity_bytes / set_budget as u64;
-        assert!(sets.is_power_of_two(), "metadata cache set count must be a power of two");
-        Self {
+        if !sets.is_power_of_two() {
+            return Err(CompressoError::InvalidCacheGeometry { capacity_bytes });
+        }
+        Ok(Self {
             sets: vec![Vec::new(); sets as usize],
             set_budget,
             half_entries,
             stamp: 0,
             stats: McStats::default(),
-        }
+        })
     }
 
     /// The paper's 96 KB metadata cache.
@@ -143,6 +148,29 @@ impl MetadataCache {
         McAccess { hit: false, evicted }
     }
 
+    /// Forcibly evicts up to `n` entries, least recently used first,
+    /// returning `(page, dirty)` pairs exactly like [`McAccess::evicted`].
+    ///
+    /// This is the fault-injection hook for eviction storms: the caller
+    /// treats each pair as a normal eviction (dirty writeback, repack
+    /// trigger), so a storm exercises the whole eviction pipeline.
+    pub fn evict_up_to(&mut self, n: usize) -> Vec<(u64, bool)> {
+        let mut out = Vec::new();
+        while out.len() < n {
+            let victim = self
+                .sets
+                .iter()
+                .enumerate()
+                .flat_map(|(si, set)| set.iter().enumerate().map(move |(wi, s)| (si, wi, s.used)))
+                .min_by_key(|&(_, _, used)| used);
+            let Some((si, wi, _)) = victim else { break };
+            let slot = self.sets[si].swap_remove(wi);
+            self.stats.evictions += 1;
+            out.push((slot.page, slot.dirty));
+        }
+        out
+    }
+
     /// Marks a cached entry dirty (no-op if absent).
     pub fn mark_dirty(&mut self, page: u64) {
         let set = (page % self.sets.len() as u64) as usize;
@@ -167,8 +195,36 @@ mod tests {
     use super::*;
 
     #[test]
+    fn bad_geometry_is_a_typed_error() {
+        assert!(matches!(
+            MetadataCache::new(3 * 8 * 64, false),
+            Err(CompressoError::InvalidCacheGeometry { capacity_bytes: 1536 })
+        ));
+        assert!(matches!(
+            MetadataCache::new(0, false),
+            Err(CompressoError::InvalidCacheGeometry { .. })
+        ));
+    }
+
+    #[test]
+    fn evict_up_to_flushes_lru_first() {
+        let mut mc = MetadataCache::new(64 * 64, false).expect("valid geometry");
+        mc.access(1, false, true); // oldest, dirty
+        mc.access(2, false, false);
+        mc.access(3, false, false);
+        let evicted = mc.evict_up_to(2);
+        assert_eq!(evicted, vec![(1, true), (2, false)]);
+        assert_eq!(mc.len(), 1);
+        assert!(mc.probe(3));
+        // Draining past the population stops cleanly.
+        assert_eq!(mc.evict_up_to(5).len(), 1);
+        assert!(mc.is_empty());
+        assert!(mc.evict_up_to(4).is_empty());
+    }
+
+    #[test]
     fn hit_after_insert() {
-        let mut mc = MetadataCache::new(64 * 64, false); // 8 sets
+        let mut mc = MetadataCache::new(64 * 64, false).expect("valid geometry"); // 8 sets
         assert!(!mc.access(5, false, false).hit);
         assert!(mc.access(5, false, false).hit);
         assert_eq!(mc.stats().hits, 1);
@@ -177,7 +233,7 @@ mod tests {
 
     #[test]
     fn full_entries_evict_lru() {
-        let mut mc = MetadataCache::new(64 * 64, false); // 8 sets, 8 ways
+        let mut mc = MetadataCache::new(64 * 64, false).expect("valid geometry"); // 8 sets, 8 ways
         let set_stride = 8u64;
         // Fill set 0 with 8 entries, then touch entry 0 and add a ninth.
         for i in 0..8 {
@@ -193,8 +249,8 @@ mod tests {
 
     #[test]
     fn half_entries_double_capacity_for_uncompressed() {
-        let mut full = MetadataCache::new(64 * 64, false);
-        let mut half = MetadataCache::new(64 * 64, true);
+        let mut full = MetadataCache::new(64 * 64, false).expect("valid geometry");
+        let mut half = MetadataCache::new(64 * 64, true).expect("valid geometry");
         let set_stride = 8u64;
         // 16 uncompressed pages mapping to one set.
         for i in 0..16 {
@@ -210,7 +266,7 @@ mod tests {
 
     #[test]
     fn dirty_eviction_is_flagged() {
-        let mut mc = MetadataCache::new(64 * 64, false);
+        let mut mc = MetadataCache::new(64 * 64, false).expect("valid geometry");
         let set_stride = 8u64;
         mc.access(0, false, true); // dirty
         for i in 1..=8 {
@@ -226,7 +282,7 @@ mod tests {
 
     #[test]
     fn mark_dirty_applies_to_cached_entry() {
-        let mut mc = MetadataCache::new(64 * 64, false);
+        let mut mc = MetadataCache::new(64 * 64, false).expect("valid geometry");
         mc.access(3, false, false);
         mc.mark_dirty(3);
         let set_stride = 8u64;
@@ -253,7 +309,7 @@ mod tests {
 
     #[test]
     fn size_transition_adopts_new_footprint() {
-        let mut mc = MetadataCache::new(64 * 64, true);
+        let mut mc = MetadataCache::new(64 * 64, true).expect("valid geometry");
         mc.access(1, true, false); // 32B
         mc.access(1, false, false); // becomes 64B (page got compressed)
         assert!(mc.probe(1));

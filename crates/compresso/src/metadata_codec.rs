@@ -19,6 +19,7 @@
 //! *uncompressed* page needs — which is precisely why the §IV-B5
 //! half-entry metadata-cache optimization works.
 
+use crate::error::CompressoError;
 use crate::metadata::{PageMeta, LINES_PER_PAGE};
 use compresso_compression::{BinSet, BitReader, BitWriter};
 
@@ -52,14 +53,26 @@ impl std::error::Error for DecodeMetadataError {}
 
 /// Packs `meta` into its 64 B DRAM representation.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the entry violates hardware limits (more than 8 chunks, more
-/// than 17 inflated lines, a chunk frame number above 2^24, or free space
-/// above 4 KB) — such an entry cannot exist in a correct controller.
-pub fn encode(meta: &PageMeta, bins: &BinSet) -> [u8; PACKED_BYTES] {
-    assert!(meta.chunks.len() <= 8, "at most 8 chunks per page");
-    assert!(meta.inflated.len() <= 17, "at most 17 inflation pointers");
+/// Returns [`CompressoError::UnencodableMetadata`] if the entry violates
+/// hardware limits (more than 8 chunks, more than 17 inflated lines, a
+/// chunk frame number above 2^24, or a line code outside the bin set) —
+/// such an entry cannot exist in a correct controller, but fault-injected
+/// runs must not abort on it.
+pub fn try_encode(meta: &PageMeta, bins: &BinSet) -> Result<[u8; PACKED_BYTES], CompressoError> {
+    if meta.chunks.len() > 8 {
+        return Err(CompressoError::UnencodableMetadata("more than 8 chunks per page"));
+    }
+    if meta.inflated.len() > 17 {
+        return Err(CompressoError::UnencodableMetadata("more than 17 inflation pointers"));
+    }
+    // Validate line codes before `free_bytes` indexes the bin set.
+    for &code in meta.line_bins.iter() {
+        if (code as usize) >= bins.len() {
+            return Err(CompressoError::UnencodableMetadata("line code outside the bin set"));
+        }
+    }
     let mut w = BitWriter::new();
     w.write_bit(meta.valid);
     w.write_bit(meta.zero);
@@ -70,11 +83,12 @@ pub fn encode(meta: &PageMeta, bins: &BinSet) -> [u8; PACKED_BYTES] {
     w.write(free as u64, 12);
     for i in 0..8 {
         let mpfn = meta.chunks.get(i).copied().unwrap_or(0);
-        assert!(mpfn < (1 << 24), "MPFN must fit 24 bits");
+        if mpfn >= (1 << 24) {
+            return Err(CompressoError::UnencodableMetadata("MPFN must fit 24 bits"));
+        }
         w.write(mpfn as u64, 24);
     }
     for &code in meta.line_bins.iter() {
-        assert!((code as usize) < bins.len(), "line code within bin set");
         w.write(code as u64, 2);
     }
     w.write(meta.inflated.len() as u64, 6);
@@ -83,10 +97,22 @@ pub fn encode(meta: &PageMeta, bins: &BinSet) -> [u8; PACKED_BYTES] {
         w.write(line as u64, 6);
     }
     let (bytes, bit_len) = w.into_parts();
-    assert!(bit_len <= PACKED_BYTES * 8, "entry must fit 64 bytes");
+    debug_assert!(bit_len <= PACKED_BYTES * 8, "entry must fit 64 bytes");
     let mut out = [0u8; PACKED_BYTES];
     out[..bytes.len()].copy_from_slice(&bytes);
-    out
+    Ok(out)
+}
+
+/// As [`try_encode`] for entries known to respect the hardware limits.
+///
+/// # Panics
+///
+/// Panics where [`try_encode`] would return an error.
+pub fn encode(meta: &PageMeta, bins: &BinSet) -> [u8; PACKED_BYTES] {
+    match try_encode(meta, bins) {
+        Ok(packed) => packed,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// Unpacks a 64 B metadata record.
@@ -229,5 +255,35 @@ mod tests {
         let mut m = sample();
         m.chunks = vec![1 << 24];
         let _ = encode(&m, &bins);
+    }
+
+    #[test]
+    fn try_encode_reports_every_hardware_limit() {
+        let bins = BinSet::aligned4();
+        assert!(try_encode(&sample(), &bins).is_ok());
+        let mut m = sample();
+        m.chunks = vec![0; 9];
+        assert!(matches!(
+            try_encode(&m, &bins),
+            Err(CompressoError::UnencodableMetadata(_))
+        ));
+        let mut m = sample();
+        m.inflated = vec![0; 18];
+        assert!(matches!(
+            try_encode(&m, &bins),
+            Err(CompressoError::UnencodableMetadata(_))
+        ));
+        let mut m = sample();
+        m.chunks = vec![1 << 24];
+        assert!(matches!(
+            try_encode(&m, &bins),
+            Err(CompressoError::UnencodableMetadata(_))
+        ));
+        let mut m = sample();
+        m.line_bins[0] = 4; // aligned4 has exactly 4 bins: codes 0..=3
+        assert!(matches!(
+            try_encode(&m, &bins),
+            Err(CompressoError::UnencodableMetadata(_))
+        ));
     }
 }

@@ -12,6 +12,8 @@
 //! arithmetic) and provides the exact functional computation so the claim
 //! is checkable, not just quoted.
 
+use crate::error::CompressoError;
+
 /// Per-input width after the >>3 normalization: values {0, 1, 4, 8} fit 4
 /// bits.
 pub const INPUT_BITS: u32 = 4;
@@ -72,29 +74,35 @@ pub fn linepack_offset_unit() -> CircuitEstimate {
 /// the 2-bit size codes of all 64 lines, for bins {0, 8, 32, 64}
 /// **within its size group** (grouped packing, largest bins first).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `index >= 64` or any code exceeds 3.
-pub fn offset_of(codes: &[u8; 64], index: usize) -> u32 {
-    assert!(index < 64, "line index out of range");
-    let size = |code: u8| -> u32 {
+/// Returns [`CompressoError::LineIndexOutOfRange`] if `index >= 64` and
+/// [`CompressoError::InvalidLineCode`] if any code exceeds 3 — a real
+/// circuit fed a corrupted metadata entry would flag exactly these.
+pub fn offset_of(codes: &[u8; 64], index: usize) -> Result<u32, CompressoError> {
+    if index >= 64 {
+        return Err(CompressoError::LineIndexOutOfRange(index));
+    }
+    let size = |code: u8| -> Result<u32, CompressoError> {
         match code {
-            0 => 0,
-            1 => 8,
-            2 => 32,
-            3 => 64,
-            c => panic!("invalid 2-bit size code {c}"),
+            0 => Ok(0),
+            1 => Ok(8),
+            2 => Ok(32),
+            3 => Ok(64),
+            c => Err(CompressoError::InvalidLineCode(c)),
         }
     };
     let my = codes[index];
-    let _ = size(my); // validate the indexed code eagerly
     let mut sum = 0u32;
     for (i, &code) in codes.iter().enumerate() {
+        // Validate every code, contributing or not: the adder tree sees
+        // all 64 inputs.
+        let bytes = size(code)?;
         if code > my || (code == my && i < index) {
-            sum += size(code);
+            sum += bytes;
         }
     }
-    sum
+    Ok(sum)
 }
 
 /// Gate-delay budget of one DDR4-2666 memory-controller cycle (§VII-E:
@@ -144,7 +152,7 @@ mod tests {
                 LineLocation::Inflated { .. } => unreachable!("no inflated lines"),
             };
             if let Some(expected) = expected {
-                assert_eq!(offset_of(&codes, line), expected, "line {line}");
+                assert_eq!(offset_of(&codes, line), Ok(expected), "line {line}");
             }
         }
     }
@@ -152,8 +160,29 @@ mod tests {
     #[test]
     fn all_max_codes_offset() {
         let codes = [3u8; 64];
-        assert_eq!(offset_of(&codes, 0), 0);
-        assert_eq!(offset_of(&codes, 63), 63 * 64);
+        assert_eq!(offset_of(&codes, 0), Ok(0));
+        assert_eq!(offset_of(&codes, 63), Ok(63 * 64));
+    }
+
+    #[test]
+    fn every_valid_code_and_out_of_range_inputs() {
+        // All four valid codes compute; grouped layout: 64 B group first,
+        // then 32, then 8, zero lines placeless.
+        let mut codes = [0u8; 64];
+        codes[0] = 1; // 8 B
+        codes[1] = 2; // 32 B
+        codes[2] = 3; // 64 B
+        codes[3] = 0; // zero
+        assert_eq!(offset_of(&codes, 2), Ok(0));
+        assert_eq!(offset_of(&codes, 1), Ok(64));
+        assert_eq!(offset_of(&codes, 0), Ok(96));
+        assert_eq!(offset_of(&codes, 3), Ok(96 + 8));
+        // Out-of-range line index.
+        assert_eq!(offset_of(&codes, 64), Err(CompressoError::LineIndexOutOfRange(64)));
+        assert_eq!(
+            offset_of(&codes, usize::MAX),
+            Err(CompressoError::LineIndexOutOfRange(usize::MAX))
+        );
     }
 
     #[test]
@@ -166,10 +195,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid 2-bit size code")]
-    fn bad_code_panics() {
+    fn bad_code_is_a_typed_error() {
         let mut codes = [0u8; 64];
         codes[1] = 4;
-        let _ = offset_of(&codes, 1);
+        // The bad code errors whether it is the indexed line...
+        assert_eq!(offset_of(&codes, 1), Err(CompressoError::InvalidLineCode(4)));
+        // ...or any other input to the adder tree.
+        assert_eq!(offset_of(&codes, 0), Err(CompressoError::InvalidLineCode(4)));
+        codes[1] = 255;
+        assert_eq!(offset_of(&codes, 5), Err(CompressoError::InvalidLineCode(255)));
     }
 }

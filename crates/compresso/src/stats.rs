@@ -55,6 +55,25 @@ pub struct DeviceStats {
     /// Fills served from the compressed-burst prefetch buffer
     /// ("free prefetch", §VII-A).
     pub prefetch_hits: u64,
+
+    /// Faults injected by an attached [`crate::FaultPlan`] (always zero
+    /// in production runs).
+    pub injected_faults: u64,
+    /// Pages degraded after metadata corruption: rewritten uncompressed
+    /// (Compresso) or re-planned via the OS path (LCP).
+    pub corruption_fallbacks: u64,
+    /// Extra DRAM bursts spent on corruption fallbacks.
+    pub fault_extra: u64,
+    /// Forced metadata-cache eviction storms processed.
+    pub eviction_storms: u64,
+    /// Allocation attempts retried after a refused chunk/block grant.
+    pub alloc_retries: u64,
+    /// Allocations abandoned after the retry budget (page kept in a
+    /// degraded layout instead of asserting).
+    pub alloc_failures: u64,
+    /// Balloon-driver inflate retries reported via
+    /// `MpaController::on_balloon_retry`.
+    pub balloon_retries: u64,
 }
 
 impl DeviceStats {
@@ -65,6 +84,7 @@ impl DeviceStats {
             + self.overflow_extra
             + self.repack_extra
             + self.metadata_accesses
+            + self.fault_extra
     }
 
     /// DRAM bursts the *uncompressed* system would have performed for the

@@ -9,7 +9,9 @@
 
 use crate::runner::{geomean, run_mix, run_single, RunResult, SystemKind};
 use compresso_oskit::{capacity_run, Budget};
-use compresso_workloads::{all_benchmarks, benchmark, full_run, BenchmarkProfile, MIXES};
+use compresso_workloads::{
+    all_benchmarks, benchmark, full_run, BenchmarkProfile, UnknownBenchmark, MIXES,
+};
 use serde::Serialize;
 
 /// Performance numbers for one workload.
@@ -156,28 +158,36 @@ pub fn summarize(rows: &[PerfRow]) -> PerfSummary {
 pub fn fig11(cycle_ops: usize, cap_ops: usize) -> Vec<PerfRow> {
     MIXES
         .iter()
-        .map(|(name, benchmarks)| mix_row(name, *benchmarks, 0.7, cycle_ops, cap_ops))
+        .map(|(name, benchmarks)| {
+            mix_row(name, *benchmarks, 0.7, cycle_ops, cap_ops)
+                .expect("paper mix names are valid")
+        })
         .collect()
 }
 
 /// Evaluates one mix.
+///
+/// # Errors
+///
+/// Returns [`UnknownBenchmark`] (listing the valid names) if any mix
+/// member is unknown.
 pub fn mix_row(
     name: &str,
     benchmarks: [&str; 4],
     fraction: f64,
     cycle_ops: usize,
     cap_ops: usize,
-) -> PerfRow {
-    let base = run_mix(name, benchmarks, &SystemKind::Uncompressed, cycle_ops);
-    let lcp = run_mix(name, benchmarks, &SystemKind::Lcp, cycle_ops);
-    let align = run_mix(name, benchmarks, &SystemKind::LcpAlign, cycle_ops);
-    let comp = run_mix(name, benchmarks, &SystemKind::Compresso, cycle_ops);
+) -> Result<PerfRow, UnknownBenchmark> {
+    let base = run_mix(name, benchmarks, &SystemKind::Uncompressed, cycle_ops)?;
+    let lcp = run_mix(name, benchmarks, &SystemKind::Lcp, cycle_ops)?;
+    let align = run_mix(name, benchmarks, &SystemKind::LcpAlign, cycle_ops)?;
+    let comp = run_mix(name, benchmarks, &SystemKind::Compresso, cycle_ops)?;
     let rel = |r: &RunResult| base.cycles as f64 / r.cycles.max(1) as f64;
 
     // Memory-capacity: average progress across the mix's benchmarks.
     let mut memcap = [0.0f64; 3]; // lcp, compresso, unconstrained
     for bench in benchmarks {
-        let profile = benchmark(bench).expect("known benchmark");
+        let profile = benchmark(bench).expect("validated by run_mix above");
         let footprint = profile.footprint_pages;
         let ratios_lcp: Vec<f64> =
             full_run(&profile, lcp.ratio, 16).iter().map(|i| i.compression_ratio).collect();
@@ -197,7 +207,7 @@ pub fn mix_row(
         );
         memcap[2] += capacity_rel(&profile, fraction, &Budget::Unconstrained(0), cap_ops);
     }
-    PerfRow {
+    Ok(PerfRow {
         workload: name.to_string(),
         cycle_lcp: rel(&lcp),
         cycle_align: rel(&align),
@@ -209,7 +219,7 @@ pub fn mix_row(
         stalled: false,
         ratio_lcp: lcp.ratio,
         ratio_compresso: comp.ratio,
-    }
+    })
 }
 
 /// Tab. II: geomean speedups at 80/70/60% constrained memory.

@@ -8,7 +8,8 @@ use compresso_core::{
 use compresso_mem_sim::MemStats;
 use compresso_core::DeviceStats;
 use compresso_workloads::{
-    benchmark, offset_trace, BenchmarkProfile, CombinedWorld, DataWorld, TraceGenerator,
+    offset_trace, require_benchmark, BenchmarkProfile, CombinedWorld, DataWorld, TraceGenerator,
+    UnknownBenchmark,
 };
 use serde::Serialize;
 
@@ -113,14 +114,20 @@ pub fn run_single(profile: &BenchmarkProfile, system: &SystemKind, mem_ops: usiz
 
 /// Runs a 4-benchmark mix on the 4-core shared-L3 platform.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if any benchmark name is unknown.
-pub fn run_mix(name: &str, benchmarks: [&str; 4], system: &SystemKind, mem_ops: usize) -> RunResult {
+/// Returns [`UnknownBenchmark`] (listing the valid names) if any
+/// benchmark name is unknown, so experiment binaries can exit cleanly.
+pub fn run_mix(
+    name: &str,
+    benchmarks: [&str; 4],
+    system: &SystemKind,
+    mem_ops: usize,
+) -> Result<RunResult, UnknownBenchmark> {
     let mut worlds = Vec::new();
     let mut traces: Vec<Vec<TraceOp>> = Vec::new();
     for (core, bench) in benchmarks.iter().enumerate() {
-        let profile = benchmark(bench).unwrap_or_else(|| panic!("unknown benchmark {bench}"));
+        let profile = require_benchmark(bench)?;
         let world = DataWorld::new(&profile);
         let mut generator = TraceGenerator::new(&profile);
         let mut trace = generator.generate(&world, mem_ops);
@@ -130,7 +137,7 @@ pub fn run_mix(name: &str, benchmarks: [&str; 4], system: &SystemKind, mem_ops: 
     }
     let mut device = system.build(CombinedWorld::new(worlds));
     let result = run_multicore(traces, CoreParams::paper_default(), &mut device);
-    RunResult {
+    Ok(RunResult {
         system: system.label().to_string(),
         workload: name.to_string(),
         cycles: result.max_cycles(),
@@ -138,7 +145,7 @@ pub fn run_mix(name: &str, benchmarks: [&str; 4], system: &SystemKind, mem_ops: 
         device: *device.device_stats(),
         dram: *device.dram_stats(),
         ratio: device.compression_ratio(),
-    }
+    })
 }
 
 /// Geometric mean of positive values (1.0 when empty).
@@ -153,6 +160,7 @@ pub fn geomean(values: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use compresso_workloads::benchmark;
 
     #[test]
     fn single_core_runs_all_systems() {
@@ -176,9 +184,26 @@ mod tests {
             ["perlbench", "bzip2", "gromacs", "gobmk"],
             &SystemKind::Compresso,
             1_000,
-        );
+        )
+        .expect("known benchmarks");
         assert!(r.cycles > 0);
         assert!(r.ratio > 1.0);
+    }
+
+    #[test]
+    fn unknown_mix_benchmark_is_a_listed_error() {
+        let err = run_mix(
+            "mixX",
+            ["perlbench", "not-a-benchmark", "gromacs", "gobmk"],
+            &SystemKind::Compresso,
+            1_000,
+        )
+        .expect_err("unknown name must not run");
+        assert_eq!(err.name, "not-a-benchmark");
+        let msg = err.to_string();
+        assert!(msg.contains("not-a-benchmark"));
+        assert!(msg.contains("perlbench"), "message lists valid names: {msg}");
+        assert!(msg.contains("Graph500"), "message lists valid names: {msg}");
     }
 
     #[test]

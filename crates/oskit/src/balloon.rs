@@ -11,6 +11,7 @@
 //! storage.
 
 use crate::vm::OsMemory;
+use compresso_core::FaultPlan;
 
 /// The hardware side the balloon driver talks to. Implemented by
 /// `CompressoDevice` (and anything else that can drop page storage).
@@ -21,6 +22,11 @@ pub trait MpaController {
     /// Drops `page`'s storage (the page's data is gone; the OS guarantees
     /// the balloon owns it and will never read it).
     fn invalidate_page(&mut self, page: u64);
+
+    /// Notifies the hardware that an inflate attempt is being retried
+    /// after a refusal (so device stats can surface balloon backpressure).
+    /// Default: ignore.
+    fn on_balloon_retry(&mut self) {}
 }
 
 /// Balloon statistics.
@@ -32,7 +38,16 @@ pub struct BalloonStats {
     pub inflates: u64,
     /// Total deflate operations.
     pub deflates: u64,
+    /// Inflate attempts refused (injected fault or an OS with no
+    /// reclaimable pages).
+    pub refused_inflates: u64,
+    /// Inflate attempts re-issued after the backoff window.
+    pub retries: u64,
 }
+
+/// Longest backoff window after consecutive refused inflates, in ticks
+/// (the window doubles per refusal: 1, 2, 4, 8, 8, ...).
+pub const MAX_BACKOFF_TICKS: u32 = 8;
 
 /// The Compresso balloon driver.
 #[derive(Debug)]
@@ -45,6 +60,13 @@ pub struct BalloonDriver {
     step: usize,
     held: Vec<u64>,
     stats: BalloonStats,
+    faults: Option<FaultPlan>,
+    /// Ticks left before inflating may be retried.
+    backoff_ticks: u32,
+    /// Next backoff window (doubles per refusal, bounded).
+    backoff_len: u32,
+    /// The last inflate attempt was refused; the next one is a retry.
+    pending_retry: bool,
 }
 
 impl BalloonDriver {
@@ -64,7 +86,18 @@ impl BalloonDriver {
             step: step.max(1),
             held: Vec::new(),
             stats: BalloonStats::default(),
+            faults: None,
+            backoff_ticks: 0,
+            backoff_len: 1,
+            pending_retry: false,
         }
+    }
+
+    /// Attaches a deterministic fault-injection plan whose
+    /// `balloon_refused` schedule makes inflate attempts fail (`None` by
+    /// default; see `compresso_core::FaultPlan`).
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
     }
 
     /// Statistics so far.
@@ -74,12 +107,28 @@ impl BalloonDriver {
 
     /// One driver tick: inflate or deflate according to MPA pressure.
     /// Returns the number of pages moved.
+    ///
+    /// A refused inflate (injected fault, or an OS with nothing left to
+    /// reclaim) backs off for a bounded, exponentially growing number of
+    /// ticks (1, 2, 4, up to [`MAX_BACKOFF_TICKS`]) before retrying;
+    /// retries are reported to the hardware via
+    /// [`MpaController::on_balloon_retry`].
     pub fn tick<C: MpaController>(&mut self, os: &mut OsMemory, hw: &mut C) -> usize {
         let pressure = hw.mpa_pressure();
         if pressure > self.high_watermark {
+            // Still inside a backoff window: stay idle.
+            if self.backoff_ticks > 0 {
+                self.backoff_ticks -= 1;
+                return 0;
+            }
+            if self.pending_retry {
+                self.stats.retries += 1;
+                hw.on_balloon_retry();
+            }
             // Inflate: demand pages from the OS; the OS reclaims free or
             // cold pages via its regular paging mechanism.
-            let pages = os.reclaim_pages(self.step);
+            let refused = self.faults.as_mut().map(|f| f.balloon_refused()).unwrap_or(false);
+            let pages = if refused { Vec::new() } else { os.reclaim_pages(self.step) };
             let n = pages.len();
             for page in pages {
                 hw.invalidate_page(page);
@@ -87,6 +136,15 @@ impl BalloonDriver {
             }
             if n > 0 {
                 self.stats.inflates += 1;
+                self.pending_retry = false;
+                self.backoff_len = 1;
+            } else {
+                if refused {
+                    self.stats.refused_inflates += 1;
+                }
+                self.pending_retry = true;
+                self.backoff_ticks = self.backoff_len;
+                self.backoff_len = (self.backoff_len * 2).min(MAX_BACKOFF_TICKS);
             }
             n
         } else if pressure < self.low_watermark && !self.held.is_empty() {
@@ -111,6 +169,13 @@ mod tests {
     struct FakeHw {
         pressure: f64,
         invalidated: Vec<u64>,
+        retries_seen: u64,
+    }
+
+    impl FakeHw {
+        fn at(pressure: f64) -> Self {
+            Self { pressure, invalidated: Vec::new(), retries_seen: 0 }
+        }
     }
 
     impl MpaController for FakeHw {
@@ -123,13 +188,17 @@ mod tests {
             // Each dropped page relieves a little pressure.
             self.pressure -= 0.001;
         }
+
+        fn on_balloon_retry(&mut self) {
+            self.retries_seen += 1;
+        }
     }
 
     #[test]
     fn inflates_under_pressure() {
         let mut os = OsMemory::new(1000);
         os.allocate(500).unwrap();
-        let mut hw = FakeHw { pressure: 0.97, invalidated: Vec::new() };
+        let mut hw = FakeHw::at(0.97);
         let mut b = BalloonDriver::new(0.70, 0.90, 64);
         let moved = b.tick(&mut os, &mut hw);
         assert_eq!(moved, 64);
@@ -140,7 +209,7 @@ mod tests {
     #[test]
     fn idle_between_watermarks() {
         let mut os = OsMemory::new(1000);
-        let mut hw = FakeHw { pressure: 0.80, invalidated: Vec::new() };
+        let mut hw = FakeHw::at(0.80);
         let mut b = BalloonDriver::new(0.70, 0.90, 64);
         assert_eq!(b.tick(&mut os, &mut hw), 0);
     }
@@ -149,7 +218,7 @@ mod tests {
     fn deflates_when_pressure_clears() {
         let mut os = OsMemory::new(1000);
         os.allocate(100).unwrap();
-        let mut hw = FakeHw { pressure: 0.95, invalidated: Vec::new() };
+        let mut hw = FakeHw::at(0.95);
         let mut b = BalloonDriver::new(0.70, 0.90, 32);
         b.tick(&mut os, &mut hw);
         assert_eq!(b.stats().held_pages, 32);
@@ -165,5 +234,56 @@ mod tests {
     #[should_panic(expected = "watermarks")]
     fn bad_watermarks_panic() {
         let _ = BalloonDriver::new(0.9, 0.7, 1);
+    }
+
+    fn refusal_plan(per_mille: u32, seed: u64) -> FaultPlan {
+        FaultPlan::new(
+            seed,
+            compresso_core::FaultConfig {
+                balloon_refusal_per_mille: per_mille,
+                ..compresso_core::FaultConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn refused_inflate_backs_off_and_retries() {
+        let mut os = OsMemory::new(1000);
+        os.allocate(500).unwrap();
+        let mut hw = FakeHw::at(0.97);
+        let mut b = BalloonDriver::new(0.70, 0.90, 16);
+        b.inject_faults(refusal_plan(1000, 7)); // every inflate refused
+        for _ in 0..100 {
+            assert_eq!(b.tick(&mut os, &mut hw), 0, "refused inflates move nothing");
+        }
+        let s = b.stats();
+        assert_eq!(s.inflates, 0);
+        assert_eq!(s.held_pages, 0);
+        assert!(s.refused_inflates >= 5, "got {} refusals", s.refused_inflates);
+        assert!(s.retries >= 4, "got {} retries", s.retries);
+        assert_eq!(hw.retries_seen, s.retries, "every retry reaches the hardware");
+        // Bounded backoff: even refusing forever, the driver keeps
+        // retrying at least once per MAX_BACKOFF_TICKS + 1 ticks.
+        assert!(s.refused_inflates >= 100 / (MAX_BACKOFF_TICKS as u64 + 1));
+        assert!(hw.invalidated.is_empty());
+    }
+
+    #[test]
+    fn balloon_recovers_between_refusals() {
+        let mut os = OsMemory::new(10_000);
+        os.allocate(5000).unwrap();
+        let mut hw = FakeHw::at(0.97);
+        // Keep pressure high so every tick attempts an inflate.
+        let mut b = BalloonDriver::new(0.70, 0.90, 4);
+        b.inject_faults(refusal_plan(500, 42)); // refuse about half
+        for _ in 0..200 {
+            b.tick(&mut os, &mut hw);
+            hw.pressure = 0.97;
+        }
+        let s = b.stats();
+        assert!(s.refused_inflates > 0, "some inflates must be refused");
+        assert!(s.inflates > 0, "the driver must recover after refusals");
+        assert!(s.held_pages > 0);
+        assert_eq!(hw.invalidated.len() as u64, s.held_pages);
     }
 }

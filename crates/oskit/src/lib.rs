@@ -24,7 +24,7 @@ pub mod capacity;
 pub mod paging;
 pub mod vm;
 
-pub use balloon::{BalloonDriver, BalloonStats, MpaController};
+pub use balloon::{BalloonDriver, BalloonStats, MpaController, MAX_BACKOFF_TICKS};
 pub use budget::Budget;
 pub use capacity::{capacity_run, relative_performance, CapacityResult};
 pub use paging::{PagingSim, PagingStats, SWAP_IN_CYCLES};
@@ -39,5 +39,9 @@ impl MpaController for CompressoDevice {
 
     fn invalidate_page(&mut self, page: u64) {
         CompressoDevice::invalidate_page(self, page);
+    }
+
+    fn on_balloon_retry(&mut self) {
+        CompressoDevice::note_balloon_retry(self);
     }
 }

@@ -268,6 +268,42 @@ pub fn benchmark(name: &str) -> Option<BenchmarkProfile> {
     all_benchmarks().into_iter().find(|b| b.name == name)
 }
 
+/// The paper names of all 30 benchmarks, in presentation order.
+pub fn benchmark_names() -> Vec<&'static str> {
+    all_benchmarks().iter().map(|b| b.name).collect()
+}
+
+/// A benchmark name that matches no profile. The message lists every
+/// valid name so experiment binaries can exit cleanly with actionable
+/// output instead of panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownBenchmark {
+    /// The name that failed to resolve.
+    pub name: String,
+}
+
+impl std::fmt::Display for UnknownBenchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown benchmark \"{}\"; valid names: {}",
+            self.name,
+            benchmark_names().join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownBenchmark {}
+
+/// As [`benchmark`], with a typed error naming the valid choices.
+///
+/// # Errors
+///
+/// Returns [`UnknownBenchmark`] if `name` matches no profile.
+pub fn require_benchmark(name: &str) -> Result<BenchmarkProfile, UnknownBenchmark> {
+    benchmark(name).ok_or_else(|| UnknownBenchmark { name: name.to_string() })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

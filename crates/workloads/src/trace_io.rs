@@ -139,4 +139,64 @@ mod tests {
             Err(ReadTraceError::Parse { .. })
         ));
     }
+
+    #[test]
+    fn truncated_line_is_a_parse_error_not_a_panic() {
+        // An opcode with no operand (e.g. a file cut mid-write).
+        match read_trace("C 4\nR\n".as_bytes()) {
+            Err(ReadTraceError::Parse { line, content }) => {
+                assert_eq!(line, 2);
+                assert_eq!(content, "R");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn extra_operand_is_a_parse_error() {
+        assert!(matches!(
+            read_trace("R 12 34\n".as_bytes()),
+            Err(ReadTraceError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn negative_address_is_a_parse_error() {
+        assert!(matches!(
+            read_trace("W -64\n".as_bytes()),
+            Err(ReadTraceError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn garbage_line_numbers_count_blanks_and_comments() {
+        // The reported position must match the file, not the op index.
+        let text = "# header\n\nC 4\n\n# more\nX 99\n";
+        match read_trace(text.as_bytes()) {
+            Err(ReadTraceError::Parse { line, content }) => {
+                assert_eq!(line, 6);
+                assert_eq!(content, "X 99");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_utf8_is_an_io_error() {
+        let bytes: &[u8] = b"C 4\n\xff\xfe garbage\n";
+        match read_trace(bytes) {
+            Err(ReadTraceError::Io(e)) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::InvalidData);
+            }
+            other => panic!("expected io error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_display_actionably() {
+        let err = read_trace("R\n".as_bytes()).expect_err("malformed");
+        let msg = err.to_string();
+        assert!(msg.contains("line 1"), "message names the line: {msg}");
+        assert!(msg.contains('R'), "message shows the content: {msg}");
+    }
 }

@@ -16,7 +16,7 @@ fn main() {
     let ops = 15_000;
     let mut base_cycles = None;
     for system in SystemKind::evaluated() {
-        let r = run_mix("mix10", benchmarks, &system, ops);
+        let r = run_mix("mix10", benchmarks, &system, ops).expect("Tab. IV names are valid");
         let rel = base_cycles
             .map(|b: u64| b as f64 / r.cycles as f64)
             .unwrap_or(1.0);

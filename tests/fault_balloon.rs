@@ -1,0 +1,68 @@
+//! Cross-crate fault injection: a refusing OS against the balloon driver
+//! and a real CompressoDevice, end to end. Refusals must surface in both
+//! the balloon stats and the device stats (via the `on_balloon_retry`
+//! hardware hook), and the driver must still relieve pressure once the
+//! OS cooperates again.
+
+use compresso_cache_sim::Backend;
+use compresso_core::{CompressoConfig, CompressoDevice, FaultConfig, FaultPlan, MemoryDevice};
+use compresso_oskit::{BalloonDriver, OsMemory};
+use compresso_workloads::{benchmark, DataWorld, PAGE_BYTES};
+
+fn refusal_plan(per_mille: u32, seed: u64) -> FaultPlan {
+    FaultPlan::new(
+        seed,
+        FaultConfig { balloon_refusal_per_mille: per_mille, ..FaultConfig::default() },
+    )
+}
+
+/// Fills an incompressible workload against a tiny MPA while the balloon
+/// driver fights a partially refusing OS.
+fn pressured_run(seed: u64) -> (CompressoDevice, BalloonDriver) {
+    let profile = benchmark("mcf").expect("paper benchmark");
+    let mut cfg = CompressoConfig::compresso();
+    cfg.mpa_capacity = 4 << 20; // 4 MB
+    let mut device = CompressoDevice::new(cfg, DataWorld::new(&profile));
+    let mut os = OsMemory::new(2048);
+    let held = os.allocate(1024).expect("cold pages");
+    os.mark_cold(&held);
+    let mut balloon = BalloonDriver::new(0.5, 0.8, 64);
+    balloon.inject_faults(refusal_plan(500, seed)); // refuse about half
+
+    let mut t = 0;
+    for page in 0..900u64 {
+        t = device.fill(t, page * PAGE_BYTES).max(t);
+        if page % 8 == 0 {
+            balloon.tick(&mut os, &mut device);
+        }
+    }
+    (device, balloon)
+}
+
+#[test]
+fn refused_inflates_surface_in_device_stats() {
+    let (device, balloon) = pressured_run(0xFA157);
+    let b = balloon.stats();
+    let d = device.device_stats();
+
+    assert!(b.refused_inflates > 0, "the OS must refuse some inflates: {b:?}");
+    assert!(b.inflates > 0, "the driver must recover between refusals: {b:?}");
+    assert!(b.retries > 0, "refusals must be retried after backoff: {b:?}");
+    assert_eq!(
+        d.balloon_retries, b.retries,
+        "every retry must reach the hardware via on_balloon_retry"
+    );
+    assert!(
+        device.mpa_pressure() < 1.0,
+        "pressure must stay under 100% despite refusals: {:.2}",
+        device.mpa_pressure()
+    );
+}
+
+#[test]
+fn refusal_schedule_is_reproducible() {
+    let (da, ba) = pressured_run(99);
+    let (db, bb) = pressured_run(99);
+    assert_eq!(ba.stats(), bb.stats(), "same seed, same balloon stats");
+    assert_eq!(da.device_stats(), db.device_stats(), "same seed, same device stats");
+}

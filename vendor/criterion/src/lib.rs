@@ -1,0 +1,187 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API subset this workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::{iter, iter_batched}`,
+//! `BatchSize`, and the `criterion_group!`/`criterion_main!` macros — as a
+//! simple wall-clock harness: each benchmark is timed over a fixed small
+//! number of iterations and reported as ns/iter on stdout. No statistics,
+//! no plots, no comparison against saved baselines.
+
+use std::time::{Duration, Instant};
+
+/// Iterations measured per benchmark (after one warm-up iteration).
+const MEASURE_ITERS: u32 = 20;
+
+/// How batched inputs are sized (accepted for API compatibility; the
+/// stub treats all variants identically).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Measurement namespace (wall-clock only).
+pub mod measurement {
+    /// Wall-clock time measurement.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct WallTime;
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    nanos_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine()); // warm-up
+        let start = Instant::now();
+        for _ in 0..MEASURE_ITERS {
+            std::hint::black_box(routine());
+        }
+        self.nanos_per_iter = start.elapsed().as_nanos() as f64 / MEASURE_ITERS as f64;
+    }
+
+    /// Times `routine` with a fresh `setup` input per iteration; setup
+    /// time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup())); // warm-up
+        let mut total = Duration::ZERO;
+        for _ in 0..MEASURE_ITERS {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.nanos_per_iter = total.as_nanos() as f64 / MEASURE_ITERS as f64;
+    }
+}
+
+fn report(name: &str, nanos: f64) {
+    if nanos >= 1_000_000.0 {
+        println!("bench {name:<50} {:>12.3} ms/iter", nanos / 1_000_000.0);
+    } else if nanos >= 1_000.0 {
+        println!("bench {name:<50} {:>12.3} µs/iter", nanos / 1_000.0);
+    } else {
+        println!("bench {name:<50} {nanos:>12.1} ns/iter");
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup { criterion: self, name: name.into(), _measurement: Default::default() }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        report(&name.into(), bencher.nanos_per_iter);
+        self
+    }
+}
+
+/// A named group of benchmarks with (ignored) sampling configuration.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    #[allow(dead_code)]
+    criterion: &'a mut Criterion,
+    name: String,
+    _measurement: std::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Sets the sample count (accepted, ignored).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement time (accepted, ignored).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the warm-up time (accepted, ignored).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        report(&format!("{}/{}", self.name, name.into()), bencher.nanos_per_iter);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group-runner function invoking each benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($bench(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::default();
+        b.iter(|| (0..100u64).sum::<u64>());
+        assert!(b.nanos_per_iter >= 0.0);
+        b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.nanos_per_iter >= 0.0);
+    }
+
+    #[test]
+    fn groups_run_their_benchmarks() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3).measurement_time(Duration::from_millis(1)).warm_up_time(Duration::from_millis(1));
+        let mut ran = false;
+        group.bench_function("unit", |b| {
+            ran = true;
+            b.iter(|| 1 + 1)
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

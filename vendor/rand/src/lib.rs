@@ -1,0 +1,195 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment for this repository has no network access, so the
+//! real `rand` cannot be fetched from crates.io. This crate implements the
+//! exact API subset the workspace uses — `rngs::StdRng`, `SeedableRng::
+//! seed_from_u64`, and `Rng::{gen_bool, gen_ratio, gen_range}` — on top of
+//! xoshiro256++ seeded through SplitMix64. Sequences are deterministic for
+//! a given seed (which is all the simulator requires) but differ from the
+//! real `StdRng` (ChaCha12) stream.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core RNG interface: a source of uniform `u64`s.
+pub trait RngCore {
+    /// Next uniformly distributed 64-bit value.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding interface (only the `u64` convenience constructor is provided).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Generator namespace, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic generator (xoshiro256++), stand-in for `rand`'s
+    /// `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+/// Integer types usable with [`Rng::gen_range`].
+pub trait SampleUniform: Copy + PartialOrd {
+    /// `self` widened to `i128` (every supported integer fits).
+    fn to_i128(self) -> i128;
+    /// Narrowing conversion back from `i128`; the caller guarantees range.
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            fn from_i128(v: i128) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Range forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// `(low, span)` where the sampled value is `low + u` for a uniform
+    /// `u` in `[0, span)`. A span of 0 encodes the full `u64` range.
+    fn bounds(&self) -> (i128, u64);
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn bounds(&self) -> (i128, u64) {
+        let low = self.start.to_i128();
+        let high = self.end.to_i128();
+        assert!(low < high, "cannot sample from an empty range");
+        (low, (high - low) as u64)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn bounds(&self) -> (i128, u64) {
+        let low = self.start().to_i128();
+        let high = self.end().to_i128();
+        assert!(low <= high, "cannot sample from an empty range");
+        ((high - low + 1) as u128)
+            .try_into()
+            .map(|span| (low, span))
+            .unwrap_or((low, 0))
+    }
+}
+
+/// The sampling interface, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+
+    /// `true` with probability `numerator / denominator`.
+    fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
+        assert!(denominator > 0, "gen_ratio denominator must be nonzero");
+        assert!(numerator <= denominator, "gen_ratio numerator above denominator");
+        (self.next_u64() % denominator as u64) < numerator as u64
+    }
+
+    /// Uniform sample from `range` (modulo-reduced; the negligible bias is
+    /// acceptable for simulation workloads).
+    fn gen_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let (low, span) = range.bounds();
+        let draw = self.next_u64();
+        let offset = if span == 0 { draw } else { draw % span };
+        T::from_i128(low + offset as i128)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..16 {
+            assert_eq!(a.gen_range(0u64..1000), b.gen_range(0u64..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10usize..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(5u64..=5);
+            assert_eq!(w, 5);
+            let s = rng.gen_range(-3i64..=3);
+            assert!((-3..=3).contains(&s));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "p=0.25 frequency off: {hits}");
+    }
+
+    #[test]
+    fn gen_ratio_frequency() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| rng.gen_ratio(1, 4)).count();
+        assert!((2000..3000).contains(&hits), "1/4 frequency off: {hits}");
+    }
+}

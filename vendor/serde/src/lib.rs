@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides marker `Serialize`/`Deserialize` traits in the type namespace
+//! and the matching no-op derives in the macro namespace, which is the
+//! entire surface this workspace touches (`use serde::Serialize` +
+//! `#[derive(Serialize)]` + `#[serde(skip)]`). No data format ships with
+//! the container, so nothing can (or needs to) serialize through these.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

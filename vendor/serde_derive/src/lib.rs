@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The derives expand to nothing: the workspace only *annotates* types
+//! with `#[derive(Serialize)]` and `#[serde(skip)]` for future JSON
+//! export; nothing actually serializes through the trait. Registering the
+//! `serde` helper attribute is what lets those annotations compile.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive accepting `#[serde(...)]` field attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive accepting `#[serde(...)]` field attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
