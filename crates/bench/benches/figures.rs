@@ -29,7 +29,7 @@ fn bench_figures(c: &mut Criterion) {
             let cfg = compresso_core::CompressoConfig::unoptimized(
                 compresso_core::PageAllocation::Chunks512,
             );
-            compresso_exp::run_single(&profile, &SystemKind::Custom("fig4", cfg), 1_000)
+            compresso_exp::run_single(&profile, &SystemKind::custom("fig4", cfg), 1_000)
                 .device
                 .extra_breakdown()
         })
@@ -82,7 +82,9 @@ fn bench_figures(c: &mut Criterion) {
     });
 
     group.bench_function("tradeoff_bins", |b| {
-        b.iter(|| tradeoffs::line_bin_tradeoff(10, 500).len())
+        b.iter(|| {
+            tradeoffs::line_bin_tradeoff(10, 500, &compresso_exp::SweepOptions::serial()).len()
+        })
     });
 
     group.finish();

@@ -1,16 +1,17 @@
 //! Regenerates Fig. 10: single-core performance (cycle-based,
 //! memory-capacity impact at 70%, and overall).
 
-use compresso_exp::{f2, params_banner, perf, render_table, arg_usize};
+use compresso_exp::{f2, params_banner, perf, render_table, arg_usize, SweepOptions};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let ops = arg_usize(&args, "--ops", 50_000);
     let cap_ops = arg_usize(&args, "--cap-ops", 4_000_000);
+    let opts = SweepOptions::from_args(&args);
     println!("{}\n", params_banner());
     println!("Fig. 10: single-core, 70% constrained memory ({ops} cycle ops, {cap_ops} capacity ops)\n");
 
-    let rows = perf::fig10(ops, cap_ops);
+    let rows = perf::fig10(ops, cap_ops, &opts);
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

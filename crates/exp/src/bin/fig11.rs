@@ -1,12 +1,13 @@
 //! Regenerates Fig. 11: 4-core mix performance.
 
-use compresso_exp::{f2, params_banner, perf, render_table, arg_usize};
+use compresso_exp::{f2, params_banner, perf, render_table, arg_usize, SweepOptions};
 use compresso_workloads::MIXES;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let ops = arg_usize(&args, "--ops", 25_000);
     let cap_ops = arg_usize(&args, "--cap-ops", 3_000_000);
+    let opts = SweepOptions::from_args(&args);
     println!("{}\n", params_banner());
     println!("Tab. IV mixes:");
     for (name, benchmarks) in MIXES {
@@ -14,7 +15,7 @@ fn main() {
     }
     println!("\nFig. 11: 4-core, 70% constrained memory ({ops} ops/core)\n");
 
-    let rows = perf::fig11(ops, cap_ops);
+    let rows = perf::fig11(ops, cap_ops, &opts);
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

@@ -1,14 +1,15 @@
 //! Regenerates Fig. 12: energy relative to the uncompressed system.
 
-use compresso_exp::{energy_fig, f2, params_banner, render_table, arg_usize};
+use compresso_exp::{energy_fig, f2, params_banner, render_table, arg_usize, SweepOptions};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let ops = arg_usize(&args, "--ops", 40_000);
+    let opts = SweepOptions::from_args(&args);
     println!("{}\n", params_banner());
     println!("Fig. 12: energy relative to uncompressed ({ops} ops)\n");
 
-    let mut rows = energy_fig::fig12(ops);
+    let mut rows = energy_fig::fig12(ops, &opts);
     rows.push(energy_fig::average(&rows));
     let table: Vec<Vec<String>> = rows
         .iter()

@@ -1,14 +1,15 @@
 //! Regenerates Fig. 2: compression ratio of {BPC, BDI} x {LinePack, LCP}.
 
-use compresso_exp::{f2, fig2, params_banner, render_table, arg_usize};
+use compresso_exp::{f2, fig2, params_banner, render_table, arg_usize, SweepOptions};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let pages = arg_usize(&args, "--pages", 1500);
+    let opts = SweepOptions::from_args(&args);
     println!("{}\n", params_banner());
     println!("Fig. 2: compression ratio per benchmark ({} pages sampled)\n", pages);
 
-    let mut rows = fig2::fig2(pages);
+    let mut rows = fig2::fig2(pages, &opts);
     rows.push(fig2::average(&rows));
     let table: Vec<Vec<String>> = rows
         .iter()

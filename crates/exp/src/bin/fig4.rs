@@ -1,15 +1,16 @@
 //! Regenerates Fig. 4: extra compression-related memory traffic of the
 //! unoptimized compressed system.
 
-use compresso_exp::{movement, params_banner, pct, render_table, arg_usize};
+use compresso_exp::{movement, params_banner, pct, render_table, arg_usize, SweepOptions};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let ops = arg_usize(&args, "--ops", 60_000);
+    let opts = SweepOptions::from_args(&args);
     println!("{}\n", params_banner());
     println!("Fig. 4: relative extra memory accesses, unoptimized system ({} ops)\n", ops);
 
-    let rows = movement::fig4(ops);
+    let rows = movement::fig4(ops, &opts);
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

@@ -1,14 +1,15 @@
 //! Regenerates Fig. 7: compression ratio lost without dynamic repacking.
 
-use compresso_exp::{f2, fig7, params_banner, pct, render_table, arg_usize};
+use compresso_exp::{f2, fig7, params_banner, pct, render_table, arg_usize, SweepOptions};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let pages = arg_usize(&args, "--pages", 400);
+    let opts = SweepOptions::from_args(&args);
     println!("{}\n", params_banner());
     println!("Fig. 7: repacking impact after long-run aging ({} pages/benchmark)\n", pages);
 
-    let rows = fig7::fig7(pages);
+    let rows = fig7::fig7(pages, &opts);
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

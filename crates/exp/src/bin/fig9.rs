@@ -1,27 +1,43 @@
 //! Regenerates Fig. 9: SimPoint vs CompressPoint compressibility
 //! representativeness for GemsFDTD and astar.
 
-use compresso_exp::{f2, params_banner};
+use compresso_exp::{f2, params_banner, run_cells, successes, SweepOptions};
 use compresso_workloads::{benchmark, compresspoint, full_run, run_average_ratio, simpoint};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let opts = SweepOptions::from_args(&args);
     println!("{}\n", params_banner());
     println!("Fig. 9: compression ratio over a full run\n");
-    for (name, base) in [("GemsFDTD", 1.2), ("astar", 1.5)] {
-        let profile = benchmark(name).expect("paper benchmark");
-        let run = full_run(&profile, base, 64);
-        print!("{name}: ");
-        for iv in run.iter().step_by(4) {
-            print!("{} ", f2(iv.compression_ratio));
-        }
-        println!();
-        let sp = simpoint(&run);
-        let cp = compresspoint(&run);
-        let avg = run_average_ratio(&run);
-        println!(
-            "  run-average ratio {:.2}; SimPoint picks interval {} (ratio {:.2}); CompressPoint picks interval {} (ratio {:.2})\n",
-            avg, sp.index, sp.compression_ratio, cp.index, cp.compression_ratio
-        );
+
+    let cells: Vec<(String, (&str, f64))> = [("GemsFDTD", 1.2), ("astar", 1.5)]
+        .iter()
+        .map(|&(name, base)| (format!("fig9/{name}"), (name, base)))
+        .collect();
+    let blocks = successes(run_cells(
+        cells,
+        |(name, base)| {
+            let profile = benchmark(name).expect("paper benchmark");
+            let run = full_run(&profile, base, 64);
+            let mut block = format!("{name}: ");
+            for iv in run.iter().step_by(4) {
+                block.push_str(&f2(iv.compression_ratio));
+                block.push(' ');
+            }
+            block.push('\n');
+            let sp = simpoint(&run);
+            let cp = compresspoint(&run);
+            let avg = run_average_ratio(&run);
+            block.push_str(&format!(
+                "  run-average ratio {:.2}; SimPoint picks interval {} (ratio {:.2}); CompressPoint picks interval {} (ratio {:.2})\n",
+                avg, sp.index, sp.compression_ratio, cp.index, cp.compression_ratio
+            ));
+            block
+        },
+        &opts,
+    ));
+    for block in blocks {
+        println!("{block}");
     }
     println!("(paper: SimPoint and CompressPoint differ by an order of magnitude for GemsFDTD)");
 }

@@ -1,19 +1,20 @@
 //! Regenerates the §IV-A1 trade-off studies.
 
-use compresso_exp::{f2, params_banner, render_table, tradeoffs, arg_usize};
+use compresso_exp::{f2, params_banner, render_table, tradeoffs, arg_usize, SweepOptions};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let pages = arg_usize(&args, "--pages", 300);
     let ops = arg_usize(&args, "--ops", 20_000);
+    let opts = SweepOptions::from_args(&args);
     println!("{}\n", params_banner());
     println!("S IV-A1 trade-offs ({pages} pages, {ops} ops)\n");
 
     for (title, rows) in [
         ("Line-size bins (paper: 8 bins 1.82x vs 4 bins 1.59x; +17.5% line overflows)",
-         tradeoffs::line_bin_tradeoff(pages, ops)),
+         tradeoffs::line_bin_tradeoff(pages, ops, &opts)),
         ("Page sizes (paper: 8 sizes 1.85x vs 4 sizes 1.59x; up to +53% resizing)",
-         tradeoffs::page_size_tradeoff(pages, ops)),
+         tradeoffs::page_size_tradeoff(pages, ops, &opts)),
     ] {
         println!("{title}");
         let table: Vec<Vec<String>> = rows

@@ -1,6 +1,7 @@
 //! Fig. 12: DRAM and core energy relative to the uncompressed system.
 
-use crate::runner::{run_single, SystemKind};
+use crate::runner::{run_single, RunResult, SystemKind};
+use crate::sweep::{run_grid, SweepCell, SweepOptions};
 use compresso_energy::{evaluate, EnergyParams};
 use compresso_workloads::all_benchmarks;
 use serde::Serialize;
@@ -20,14 +21,13 @@ pub struct Fig12Row {
     pub core_compresso: f64,
 }
 
-/// Evaluates one benchmark.
-pub fn energy_row(benchmark: &str, ops: usize) -> Fig12Row {
-    let profile = compresso_workloads::benchmark(benchmark).expect("known benchmark");
+/// Builds a row from the four runs of [`SystemKind::evaluated`], in
+/// presentation order.
+fn row_from_runs(benchmark: &str, runs: &[&RunResult]) -> Fig12Row {
     let params = EnergyParams::paper_default();
     let mut dram = [0.0f64; 4];
     let mut core = [0.0f64; 4];
-    for (i, system) in SystemKind::evaluated().iter().enumerate() {
-        let r = run_single(&profile, system, ops);
+    for (i, r) in runs.iter().take(4).enumerate() {
         let e = evaluate(&r.device, &r.dram, r.cycles, &params);
         dram[i] = e.dram_nj;
         core[i] = e.core_nj;
@@ -41,9 +41,40 @@ pub fn energy_row(benchmark: &str, ops: usize) -> Fig12Row {
     }
 }
 
-/// The full Fig. 12 sweep.
-pub fn fig12(ops: usize) -> Vec<Fig12Row> {
-    all_benchmarks().iter().map(|p| energy_row(p.name, ops)).collect()
+/// Evaluates one benchmark (serial, test/bench entry point).
+pub fn energy_row(benchmark: &str, ops: usize) -> Fig12Row {
+    let profile = compresso_workloads::benchmark(benchmark).expect("known benchmark");
+    let runs: Vec<RunResult> = SystemKind::evaluated()
+        .iter()
+        .map(|system| run_single(&profile, system, ops))
+        .collect();
+    let refs: Vec<&RunResult> = runs.iter().collect();
+    row_from_runs(benchmark, &refs)
+}
+
+/// The full Fig. 12 sweep: a (benchmark × 4 systems) grid on the engine.
+pub fn fig12(ops: usize, opts: &SweepOptions) -> Vec<Fig12Row> {
+    let mut cells = Vec::new();
+    for profile in all_benchmarks() {
+        for system in SystemKind::evaluated() {
+            cells.push(SweepCell::single(profile.name, system, ops));
+        }
+    }
+    let outcomes = run_grid(cells, opts);
+    let mut rows = Vec::new();
+    for quad in outcomes.chunks(4) {
+        let runs: Vec<&RunResult> = quad.iter().filter_map(|o| o.result.as_ref().ok()).collect();
+        if runs.len() < 4 {
+            eprintln!(
+                "[sweep] skipping Fig. 12 row `{}`: {} of 4 system cells failed",
+                quad[0].label,
+                4 - runs.len()
+            );
+            continue;
+        }
+        rows.push(row_from_runs(&runs[0].workload, &runs));
+    }
+    rows
 }
 
 /// Arithmetic averages over the rows (the paper's "Average" bar).
@@ -71,6 +102,23 @@ mod tests {
             "zeusmp Compresso DRAM energy should not exceed baseline: {:.2}",
             r.dram_compresso
         );
+    }
+
+    #[test]
+    fn grid_row_matches_serial_row() {
+        // The engine path (grid of 4 system cells) and the serial path
+        // must agree bit-for-bit.
+        let serial = energy_row("soplex", 2_000);
+        let cells: Vec<SweepCell> = SystemKind::evaluated()
+            .into_iter()
+            .map(|s| SweepCell::single("soplex", s, 2_000))
+            .collect();
+        let outcomes = run_grid(cells, &SweepOptions::with_jobs(4));
+        let runs: Vec<&RunResult> =
+            outcomes.iter().map(|o| o.result.as_ref().expect("cell ok")).collect();
+        let grid = row_from_runs("soplex", &runs);
+        assert_eq!(serial.dram_compresso.to_bits(), grid.dram_compresso.to_bits());
+        assert_eq!(serial.core_compresso.to_bits(), grid.core_compresso.to_bits());
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! LinePack averages 1.85×; LCP-packing costs 13% with BPC but only 2.3%
 //! with BDI (because BPC produces more size-diverse lines).
 
+use crate::sweep::{run_cells, successes, SweepOptions};
 use compresso_compression::{Bdi, BinSet, Bpc, Compressor};
 use compresso_core::{lcp_plan, PageAllocation};
 use compresso_workloads::{all_benchmarks, BenchmarkProfile, DataWorld, PAGE_BYTES};
@@ -79,9 +80,11 @@ pub fn ratios_for(profile: &BenchmarkProfile, max_pages: usize) -> Fig2Row {
     }
 }
 
-/// Runs the full Fig. 2 study.
-pub fn fig2(max_pages: usize) -> Vec<Fig2Row> {
-    all_benchmarks().iter().map(|p| ratios_for(p, max_pages)).collect()
+/// Runs the full Fig. 2 study, one sweep cell per benchmark.
+pub fn fig2(max_pages: usize, opts: &SweepOptions) -> Vec<Fig2Row> {
+    let cells: Vec<(String, BenchmarkProfile)> =
+        all_benchmarks().into_iter().map(|p| (format!("fig2/{}", p.name), p)).collect();
+    successes(run_cells(cells, |p| ratios_for(&p, max_pages), opts))
 }
 
 /// Arithmetic-mean summary row over benchmark ratios (the paper's

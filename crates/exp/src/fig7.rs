@@ -10,6 +10,7 @@
 //! stream metadata-cache evictions — Compresso's repacking trigger — and
 //! then compares the final compression ratios.
 
+use crate::sweep::{run_cells, successes, SweepOptions};
 use compresso_cache_sim::Backend;
 use compresso_core::{CompressoConfig, CompressoDevice, MemoryDevice};
 use compresso_workloads::{all_benchmarks, DataWorld, Evolution, PAGE_BYTES};
@@ -84,9 +85,12 @@ pub fn repacking_impact(benchmark: &str, pages: usize) -> Fig7Row {
     }
 }
 
-/// The full Fig. 7 sweep. `pages` bounds the aged region per benchmark.
-pub fn fig7(pages: usize) -> Vec<Fig7Row> {
-    all_benchmarks().iter().map(|p| repacking_impact(p.name, pages)).collect()
+/// The full Fig. 7 sweep, one cell per benchmark. `pages` bounds the
+/// aged region per benchmark.
+pub fn fig7(pages: usize, opts: &SweepOptions) -> Vec<Fig7Row> {
+    let cells: Vec<(String, &'static str)> =
+        all_benchmarks().iter().map(|p| (format!("fig7/{}", p.name), p.name)).collect();
+    successes(run_cells(cells, |name| repacking_impact(name, pages), opts))
 }
 
 #[cfg(test)]

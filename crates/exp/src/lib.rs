@@ -20,8 +20,11 @@
 //! | `all` | everything above at reduced scale |
 //!
 //! Every binary accepts `--ops N` (memory operations per cycle run) and
-//! prints Tab. III parameters alongside results so runs are
-//! self-describing.
+//! `--jobs N` (sweep worker threads, default `COMPRESSO_JOBS` or the
+//! machine's parallelism), and prints Tab. III parameters alongside
+//! results so runs are self-describing. Parallel sweeps are bit-identical
+//! to serial ones: each cell owns its world and seeded RNG, and
+//! `tests/sweep_determinism.rs` enforces it.
 
 pub mod energy_fig;
 pub mod fig2;
@@ -30,10 +33,14 @@ pub mod movement;
 pub mod perf;
 pub mod report;
 pub mod runner;
+pub mod sweep;
 pub mod tradeoffs;
 
 pub use report::{f2, pct, render_table};
 pub use runner::{geomean, run_mix, run_single, RunResult, SystemKind};
+pub use sweep::{
+    run_cells, run_grid, successes, CellError, CellOutcome, SweepCell, SweepOptions, Workload,
+};
 
 /// Returns the Tab. III configuration summary printed by every binary.
 pub fn params_banner() -> String {

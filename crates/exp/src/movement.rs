@@ -1,7 +1,8 @@
 //! Fig. 4 and Fig. 6: compression-related data movement and the
 //! optimization ablation.
 
-use crate::runner::{run_single, SystemKind};
+use crate::runner::{RunResult, SystemKind};
+use crate::sweep::{run_grid, successes, SweepCell, SweepOptions};
 use compresso_core::{CompressoConfig, PageAllocation};
 use compresso_workloads::all_benchmarks;
 use serde::Serialize;
@@ -26,13 +27,11 @@ pub struct MovementRow {
     pub total: f64,
 }
 
-fn movement_of(benchmark: &str, label: &'static str, cfg: CompressoConfig, ops: usize) -> MovementRow {
-    let profile = compresso_workloads::benchmark(benchmark).expect("known benchmark");
-    let r = run_single(&profile, &SystemKind::Custom(label, cfg), ops);
+fn row_of(r: &RunResult) -> MovementRow {
     let (split, overflow, metadata) = r.device.extra_breakdown();
     MovementRow {
-        benchmark: benchmark.to_string(),
-        config: label.to_string(),
+        benchmark: r.workload.clone(),
+        config: r.system.clone(),
         split,
         overflow,
         metadata,
@@ -42,36 +41,41 @@ fn movement_of(benchmark: &str, label: &'static str, cfg: CompressoConfig, ops: 
 
 /// Fig. 4: the unoptimized compressed system's extra accesses, for fixed
 /// 512 B chunks (left bars) and 4 variable-sized chunks (right bars).
-pub fn fig4(ops: usize) -> Vec<MovementRow> {
-    let mut rows = Vec::new();
+pub fn fig4(ops: usize, opts: &SweepOptions) -> Vec<MovementRow> {
+    let mut cells = Vec::new();
     for profile in all_benchmarks() {
-        rows.push(movement_of(
+        cells.push(SweepCell::single(
             profile.name,
-            "fixed512",
-            CompressoConfig::unoptimized(PageAllocation::Chunks512),
+            SystemKind::custom("fixed512", CompressoConfig::unoptimized(PageAllocation::Chunks512)),
             ops,
         ));
-        rows.push(movement_of(
+        cells.push(SweepCell::single(
             profile.name,
-            "variable4",
-            CompressoConfig::unoptimized(PageAllocation::Variable4),
+            SystemKind::custom(
+                "variable4",
+                CompressoConfig::unoptimized(PageAllocation::Variable4),
+            ),
             ops,
         ));
     }
-    rows
+    successes(run_grid(cells, opts)).iter().map(row_of).collect()
 }
 
 /// Fig. 6: extra accesses as the optimizations land cumulatively
 /// (ablation ladder), per benchmark.
-pub fn fig6(ops: usize) -> Vec<MovementRow> {
+pub fn fig6(ops: usize, opts: &SweepOptions) -> Vec<MovementRow> {
     let ladder = CompressoConfig::ablation_ladder(PageAllocation::Chunks512);
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
     for profile in all_benchmarks() {
         for (label, cfg) in &ladder {
-            rows.push(movement_of(profile.name, label, cfg.clone(), ops));
+            cells.push(SweepCell::single(
+                profile.name,
+                SystemKind::custom(*label, cfg.clone()),
+                ops,
+            ));
         }
     }
-    rows
+    successes(run_grid(cells, opts)).iter().map(row_of).collect()
 }
 
 /// Average total extra accesses per configuration label.
@@ -96,6 +100,13 @@ pub fn averages(rows: &[MovementRow]) -> Vec<(String, f64)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::run_single;
+
+    fn movement_of(benchmark: &str, label: &str, cfg: CompressoConfig, ops: usize) -> MovementRow {
+        let profile = compresso_workloads::benchmark(benchmark).expect("known benchmark");
+        let r = run_single(&profile, &SystemKind::custom(label, cfg), ops);
+        row_of(&r)
+    }
 
     #[test]
     fn ablation_reduces_average_extra_accesses() {
@@ -158,5 +169,36 @@ mod tests {
         let avgs = averages(&rows);
         assert_eq!(avgs.len(), 1);
         assert!((avgs[0].1 - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig4_parallel_matches_serial_movement() {
+        // A two-benchmark slice of the Fig. 4 grid, serial vs parallel.
+        let cells = |ops| {
+            ["gcc", "soplex"]
+                .iter()
+                .map(|b| {
+                    SweepCell::single(
+                        b,
+                        SystemKind::custom(
+                            "fixed512",
+                            CompressoConfig::unoptimized(PageAllocation::Chunks512),
+                        ),
+                        ops,
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let serial: Vec<MovementRow> =
+            successes(run_grid(cells(2_000), &SweepOptions::serial())).iter().map(row_of).collect();
+        let parallel: Vec<MovementRow> =
+            successes(run_grid(cells(2_000), &SweepOptions::with_jobs(2)))
+                .iter()
+                .map(row_of)
+                .collect();
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.benchmark, p.benchmark);
+            assert_eq!(s.total.to_bits(), p.total.to_bits());
+        }
     }
 }

@@ -8,6 +8,7 @@
 //! anchored at the ratio measured in the cycle simulation).
 
 use crate::runner::{geomean, run_mix, run_single, RunResult, SystemKind};
+use crate::sweep::{run_cells, successes, SweepOptions};
 use compresso_oskit::{capacity_run, Budget};
 use compresso_workloads::{
     all_benchmarks, benchmark, full_run, BenchmarkProfile, UnknownBenchmark, MIXES,
@@ -108,9 +109,12 @@ pub fn perf_row(profile: &BenchmarkProfile, fraction: f64, cycle_ops: usize, cap
     }
 }
 
-/// Fig. 10: all 30 single-core benchmarks at 70% constrained memory.
-pub fn fig10(cycle_ops: usize, cap_ops: usize) -> Vec<PerfRow> {
-    all_benchmarks().iter().map(|p| perf_row(p, 0.7, cycle_ops, cap_ops)).collect()
+/// Fig. 10: all 30 single-core benchmarks at 70% constrained memory,
+/// one sweep cell per benchmark.
+pub fn fig10(cycle_ops: usize, cap_ops: usize, opts: &SweepOptions) -> Vec<PerfRow> {
+    let cells: Vec<(String, BenchmarkProfile)> =
+        all_benchmarks().into_iter().map(|p| (format!("fig10/{}", p.name), p)).collect();
+    successes(run_cells(cells, |p| perf_row(&p, 0.7, cycle_ops, cap_ops), opts))
 }
 
 /// Geomean summary (cycle, memcap, overall) excluding stalled workloads
@@ -155,14 +159,19 @@ pub fn summarize(rows: &[PerfRow]) -> PerfSummary {
 /// The memory-capacity side averages per-benchmark relative performance
 /// (the paper's "average progress" metric); each benchmark's budget uses
 /// the mix device's measured ratio.
-pub fn fig11(cycle_ops: usize, cap_ops: usize) -> Vec<PerfRow> {
-    MIXES
+pub fn fig11(cycle_ops: usize, cap_ops: usize, opts: &SweepOptions) -> Vec<PerfRow> {
+    let cells: Vec<(String, (&str, [&str; 4]))> = MIXES
         .iter()
-        .map(|(name, benchmarks)| {
-            mix_row(name, *benchmarks, 0.7, cycle_ops, cap_ops)
+        .map(|(name, benchmarks)| (format!("fig11/{name}"), (*name, *benchmarks)))
+        .collect();
+    successes(run_cells(
+        cells,
+        |(name, benchmarks)| {
+            mix_row(name, benchmarks, 0.7, cycle_ops, cap_ops)
                 .expect("paper mix names are valid")
-        })
-        .collect()
+        },
+        opts,
+    ))
 }
 
 /// Evaluates one mix.
@@ -231,18 +240,30 @@ pub struct Tab2Row {
     pub single_core: (f64, f64, f64),
 }
 
-/// Runs the Tab. II sweep on the single-core benchmark set.
-pub fn tab2(cycle_ops: usize, cap_ops: usize) -> Vec<Tab2Row> {
-    [0.8, 0.7, 0.6]
+/// Runs the Tab. II sweep on the single-core benchmark set. The whole
+/// (fraction × benchmark) grid is one flat sweep; rows regroup by
+/// fraction afterwards.
+pub fn tab2(cycle_ops: usize, cap_ops: usize, opts: &SweepOptions) -> Vec<Tab2Row> {
+    const FRACTIONS: [f64; 3] = [0.8, 0.7, 0.6];
+    let benchmarks = all_benchmarks();
+    let per_fraction = benchmarks.len();
+    let cells: Vec<(String, (f64, BenchmarkProfile))> = FRACTIONS
         .iter()
-        .map(|&fraction| {
-            let rows: Vec<PerfRow> = all_benchmarks()
-                .iter()
-                .map(|p| perf_row(p, fraction, cycle_ops, cap_ops))
-                .collect();
-            let s = summarize(&rows);
-            Tab2Row { fraction, single_core: s.memcap }
+        .flat_map(|&fraction| {
+            benchmarks.iter().map(move |p| {
+                (format!("tab2/{}@{:.0}%", p.name, fraction * 100.0), (fraction, p.clone()))
+            })
         })
+        .collect();
+    let rows = successes(run_cells(
+        cells,
+        |(fraction, p)| perf_row(&p, fraction, cycle_ops, cap_ops),
+        opts,
+    ));
+    FRACTIONS
+        .iter()
+        .zip(rows.chunks(per_fraction))
+        .map(|(&fraction, chunk)| Tab2Row { fraction, single_core: summarize(chunk).memcap })
         .collect()
 }
 

@@ -24,19 +24,25 @@ pub enum SystemKind {
     LcpAlign,
     /// Full Compresso.
     Compresso,
-    /// Compresso with a custom configuration (for ablations).
-    Custom(&'static str, CompressoConfig),
+    /// Compresso with a custom configuration (for ablations). The owned
+    /// label lets sweeps generate ablation names dynamically.
+    Custom(String, CompressoConfig),
 }
 
 impl SystemKind {
+    /// Builds an ablation system with a dynamically generated label.
+    pub fn custom(label: impl Into<String>, cfg: CompressoConfig) -> Self {
+        SystemKind::Custom(label.into(), cfg)
+    }
+
     /// Display label.
-    pub fn label(&self) -> &'static str {
+    pub fn label(&self) -> &str {
         match self {
             SystemKind::Uncompressed => "uncompressed",
             SystemKind::Lcp => "LCP",
             SystemKind::LcpAlign => "LCP+Align",
             SystemKind::Compresso => "Compresso",
-            SystemKind::Custom(name, _) => name,
+            SystemKind::Custom(name, _) => name.as_str(),
         }
     }
 

@@ -1,11 +1,15 @@
 //! §IV-A1 trade-off studies: number of line-size bins and page sizes
 //! versus compression ratio and overflow-induced data movement.
 
-use crate::runner::{run_single, SystemKind};
+use crate::runner::SystemKind;
+use crate::sweep::{run_cells, run_grid, successes, SweepCell, SweepOptions};
 use compresso_compression::{BinSet, Bpc, Compressor};
 use compresso_core::{CompressoConfig, PageAllocation};
-use compresso_workloads::{all_benchmarks, DataWorld, PAGE_BYTES};
+use compresso_workloads::{all_benchmarks, BenchmarkProfile, DataWorld, PAGE_BYTES};
 use serde::Serialize;
+
+/// Benchmarks whose cycle runs supply the overflow counts.
+const OVERFLOW_BENCHMARKS: [&str; 4] = ["gcc", "lbm", "libquantum", "Forestfire"];
 
 /// Result of one trade-off configuration.
 #[derive(Debug, Clone, Serialize)]
@@ -20,50 +24,76 @@ pub struct TradeoffRow {
     pub page_overflows: u64,
 }
 
-fn static_ratio(bins: &BinSet, allocation: PageAllocation, max_pages: usize) -> f64 {
+fn static_ratio_of(
+    profile: &BenchmarkProfile,
+    bins: &BinSet,
+    allocation: PageAllocation,
+    max_pages: usize,
+) -> f64 {
     let bpc = Bpc::new();
-    let mut ratios = Vec::new();
-    for profile in all_benchmarks() {
-        let world = DataWorld::new(&profile);
-        let pages = profile.footprint_pages.min(max_pages) as u64;
-        let mut mpa = 0u64;
-        for page in 0..pages {
-            let mut data_bytes = 0u32;
-            let mut all_zero = true;
-            for line in 0..64u64 {
-                let data = world.line_data(page * PAGE_BYTES + line * 64);
-                if compresso_compression::is_zero_line(&data) {
-                    continue;
-                }
-                all_zero = false;
-                data_bytes += bins.quantize(bpc.compressed_size(&data)).bytes as u32;
+    let world = DataWorld::new(profile);
+    let pages = profile.footprint_pages.min(max_pages) as u64;
+    let mut mpa = 0u64;
+    for page in 0..pages {
+        let mut data_bytes = 0u32;
+        let mut all_zero = true;
+        for line in 0..64u64 {
+            let data = world.line_data(page * PAGE_BYTES + line * 64);
+            if compresso_compression::is_zero_line(&data) {
+                continue;
             }
-            if !all_zero {
-                mpa += allocation.fit(data_bytes.max(1)) as u64;
-            }
+            all_zero = false;
+            data_bytes += bins.quantize(bpc.compressed_size(&data)).bytes as u32;
         }
-        ratios.push(pages as f64 * PAGE_BYTES as f64 / mpa.max(1) as f64);
+        if !all_zero {
+            mpa += allocation.fit(data_bytes.max(1)) as u64;
+        }
     }
+    pages as f64 * PAGE_BYTES as f64 / mpa.max(1) as f64
+}
+
+fn static_ratio(
+    bins: &BinSet,
+    allocation: PageAllocation,
+    max_pages: usize,
+    opts: &SweepOptions,
+) -> f64 {
+    let cells: Vec<(String, BenchmarkProfile)> = all_benchmarks()
+        .into_iter()
+        .map(|p| (format!("static-ratio/{}", p.name), p))
+        .collect();
+    let ratios = successes(run_cells(
+        cells,
+        |p| static_ratio_of(&p, bins, allocation, max_pages),
+        opts,
+    ));
     ratios.iter().sum::<f64>() / ratios.len().max(1) as f64
 }
 
+fn overflow_totals(label: &str, cfg: &CompressoConfig, ops: usize, opts: &SweepOptions) -> (u64, u64) {
+    let cells: Vec<SweepCell> = OVERFLOW_BENCHMARKS
+        .iter()
+        .map(|name| {
+            SweepCell::single(name, SystemKind::custom(format!("{label}/{name}"), cfg.clone()), ops)
+        })
+        .collect();
+    let runs = successes(run_grid(cells, opts));
+    (
+        runs.iter().map(|r| r.device.line_overflows).sum(),
+        runs.iter().map(|r| r.device.page_overflows).sum(),
+    )
+}
+
 /// Line-bin trade-off: 4 vs 8 bins (ratio up, overflows up).
-pub fn line_bin_tradeoff(max_pages: usize, ops: usize) -> Vec<TradeoffRow> {
+pub fn line_bin_tradeoff(max_pages: usize, ops: usize, opts: &SweepOptions) -> Vec<TradeoffRow> {
     let configs = [("4-line-bins", BinSet::aligned4()), ("8-line-bins", BinSet::eight())];
     configs
         .iter()
         .map(|(label, bins)| {
-            let avg_ratio = static_ratio(bins, PageAllocation::Chunks512, max_pages);
+            let avg_ratio = static_ratio(bins, PageAllocation::Chunks512, max_pages, opts);
             let mut cfg = CompressoConfig::compresso();
             cfg.bins = bins.clone();
-            let mut line_overflows = 0;
-            let mut page_overflows = 0;
-            for name in ["gcc", "lbm", "libquantum", "Forestfire"] {
-                let p = compresso_workloads::benchmark(name).expect("known");
-                let r = run_single(&p, &SystemKind::Custom("bins", cfg.clone()), ops);
-                line_overflows += r.device.line_overflows;
-                page_overflows += r.device.page_overflows;
-            }
+            let (line_overflows, page_overflows) = overflow_totals(label, &cfg, ops, opts);
             TradeoffRow {
                 config: label.to_string(),
                 avg_ratio,
@@ -75,7 +105,7 @@ pub fn line_bin_tradeoff(max_pages: usize, ops: usize) -> Vec<TradeoffRow> {
 }
 
 /// Page-size trade-off: 8 incremental sizes vs 4 variable sizes.
-pub fn page_size_tradeoff(max_pages: usize, ops: usize) -> Vec<TradeoffRow> {
+pub fn page_size_tradeoff(max_pages: usize, ops: usize, opts: &SweepOptions) -> Vec<TradeoffRow> {
     let configs = [
         ("8-page-sizes", PageAllocation::Chunks512),
         ("4-page-sizes", PageAllocation::Variable4),
@@ -83,20 +113,13 @@ pub fn page_size_tradeoff(max_pages: usize, ops: usize) -> Vec<TradeoffRow> {
     configs
         .iter()
         .map(|(label, allocation)| {
-            let avg_ratio = static_ratio(&BinSet::aligned4(), *allocation, max_pages);
+            let avg_ratio = static_ratio(&BinSet::aligned4(), *allocation, max_pages, opts);
             let mut cfg = CompressoConfig::compresso();
             cfg.allocation = *allocation;
             if *allocation == PageAllocation::Variable4 {
                 cfg.ir_expansion = false;
             }
-            let mut line_overflows = 0;
-            let mut page_overflows = 0;
-            for name in ["gcc", "lbm", "libquantum", "Forestfire"] {
-                let p = compresso_workloads::benchmark(name).expect("known");
-                let r = run_single(&p, &SystemKind::Custom("pages", cfg.clone()), ops);
-                line_overflows += r.device.line_overflows;
-                page_overflows += r.device.page_overflows;
-            }
+            let (line_overflows, page_overflows) = overflow_totals(label, &cfg, ops, opts);
             TradeoffRow {
                 config: label.to_string(),
                 avg_ratio,
@@ -114,15 +137,30 @@ mod tests {
     #[test]
     fn eight_page_sizes_compress_better() {
         // §IV-A1: 8 page sizes reach 1.85 average vs 1.59 with 4.
-        let eight = static_ratio(&BinSet::aligned4(), PageAllocation::Chunks512, 80);
-        let four = static_ratio(&BinSet::aligned4(), PageAllocation::Variable4, 80);
+        let opts = SweepOptions::serial();
+        let eight = static_ratio(&BinSet::aligned4(), PageAllocation::Chunks512, 80, &opts);
+        let four = static_ratio(&BinSet::aligned4(), PageAllocation::Variable4, 80, &opts);
         assert!(eight > four, "8 sizes ({eight:.2}) must beat 4 ({four:.2})");
     }
 
     #[test]
     fn eight_line_bins_compress_no_worse() {
-        let eight = static_ratio(&BinSet::eight(), PageAllocation::Chunks512, 60);
-        let four = static_ratio(&BinSet::aligned4(), PageAllocation::Chunks512, 60);
+        let opts = SweepOptions::serial();
+        let eight = static_ratio(&BinSet::eight(), PageAllocation::Chunks512, 60, &opts);
+        let four = static_ratio(&BinSet::aligned4(), PageAllocation::Chunks512, 60, &opts);
         assert!(eight >= four * 0.999, "8 bins ({eight:.2}) vs 4 ({four:.2})");
+    }
+
+    #[test]
+    fn static_ratio_is_jobs_invariant() {
+        let serial =
+            static_ratio(&BinSet::aligned4(), PageAllocation::Chunks512, 30, &SweepOptions::serial());
+        let parallel = static_ratio(
+            &BinSet::aligned4(),
+            PageAllocation::Chunks512,
+            30,
+            &SweepOptions::with_jobs(4),
+        );
+        assert_eq!(serial.to_bits(), parallel.to_bits());
     }
 }

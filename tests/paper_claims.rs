@@ -8,14 +8,14 @@ use compresso_core::{
     lcp_plan, linepack_offset_unit, CompressoConfig, LineLocation, PageAllocation, PageMeta,
     LINES_PER_PAGE, OS_PAGE_FAULT_CYCLES,
 };
-use compresso_exp::{fig2, geomean, run_single, SystemKind};
+use compresso_exp::{fig2, geomean, run_single, SweepOptions, SystemKind};
 use compresso_workloads::{all_benchmarks, benchmark, compresspoint, full_run, simpoint};
 
 /// §II-A: BPC achieves a high average compression ratio on the suite
 /// (paper: 1.85x; we accept > 1.5x at sampled scale).
 #[test]
 fn claim_bpc_average_ratio() {
-    let rows = fig2::fig2(60);
+    let rows = fig2::fig2(60, &SweepOptions::from_env());
     let avg = fig2::average(&rows);
     assert!(
         avg.bpc_linepack > 1.5,
@@ -28,7 +28,7 @@ fn claim_bpc_average_ratio() {
 /// BDI, because BPC produces size-diverse lines.
 #[test]
 fn claim_lcp_loss_asymmetry() {
-    let rows = fig2::fig2(60);
+    let rows = fig2::fig2(60, &SweepOptions::from_env());
     let avg = fig2::average(&rows);
     let bpc_loss = 1.0 - avg.bpc_lcp / avg.bpc_linepack;
     let bdi_loss = 1.0 - avg.bdi_lcp / avg.bdi_linepack;
