@@ -10,7 +10,12 @@ fn lines_of(class: DataClass) -> Vec<Line> {
 
 fn bench_compress(c: &mut Criterion) {
     let mut group = c.benchmark_group("compress");
-    for class in [DataClass::Zero, DataClass::DeltaInt, DataClass::Pointer, DataClass::Random] {
+    for class in [
+        DataClass::Zero,
+        DataClass::DeltaInt,
+        DataClass::Pointer,
+        DataClass::Random,
+    ] {
         let lines = lines_of(class);
         group.bench_function(format!("bpc/{class:?}"), |b| {
             let bpc = Bpc::new();

@@ -27,7 +27,11 @@ fn bench_offset_calc(c: &mut Criterion) {
     // §VII-E: the offset calculation is a 63-input add of 2-bit codes;
     // this measures our software model of it.
     let bins = BinSet::aligned4();
-    let mut meta = PageMeta { valid: true, page_bytes: 4096, ..PageMeta::invalid() };
+    let mut meta = PageMeta {
+        valid: true,
+        page_bytes: 4096,
+        ..PageMeta::invalid()
+    };
     for (i, bin) in meta.line_bins.iter_mut().enumerate() {
         *bin = (i % 4) as u8;
     }
@@ -68,5 +72,11 @@ fn bench_predictor(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_metadata_cache, bench_offset_calc, bench_allocator, bench_predictor);
+criterion_group!(
+    benches,
+    bench_metadata_cache,
+    bench_offset_calc,
+    bench_allocator,
+    bench_predictor
+);
 criterion_main!(benches);

@@ -9,9 +9,14 @@ use compresso_workloads::{benchmark, compresspoint, full_run, simpoint};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 
-fn configured(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+fn configured(
+    c: &mut Criterion,
+) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
     let mut group = c.benchmark_group("figures");
-    group.sample_size(10).measurement_time(Duration::from_secs(4)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_millis(500));
     group
 }
 
@@ -63,9 +68,15 @@ fn bench_figures(c: &mut Criterion) {
 
     group.bench_function("fig11_multicore", |b| {
         b.iter(|| {
-            perf::mix_row("mix6", ["perlbench", "bzip2", "gromacs", "gobmk"], 0.7, 500, 100_000)
-                .expect("paper mix")
-                .overall_compresso()
+            perf::mix_row(
+                "mix6",
+                ["perlbench", "bzip2", "gromacs", "gobmk"],
+                0.7,
+                500,
+                100_000,
+            )
+            .expect("paper mix")
+            .overall_compresso()
         })
     });
 
@@ -76,8 +87,12 @@ fn bench_figures(c: &mut Criterion) {
     group.bench_function("tab2_capacity_sweep", |b| {
         let profile = benchmark("xalancbmk").expect("paper benchmark");
         b.iter(|| {
-            capacity_run(&profile, &Budget::constrained(0.7, profile.footprint_pages), 200_000)
-                .runtime_cycles
+            capacity_run(
+                &profile,
+                &Budget::constrained(0.7, profile.footprint_pages),
+                200_000,
+            )
+            .runtime_cycles
         })
     });
 

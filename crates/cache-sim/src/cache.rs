@@ -1,6 +1,8 @@
 //! A set-associative, write-back, write-allocate cache with LRU
 //! replacement.
 
+use compresso_telemetry::{Counter, Registry};
+
 /// Per-cache statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -22,6 +24,14 @@ impl CacheStats {
             self.misses as f64 / total as f64
         }
     }
+}
+
+/// Live counter handles behind [`CacheStats`].
+#[derive(Debug, Clone, Default)]
+struct CacheEvents {
+    hits: Counter,
+    misses: Counter,
+    writebacks: Counter,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -50,7 +60,7 @@ pub struct Cache {
     sets: Vec<Vec<Way>>,
     set_mask: u64,
     stamp: u64,
-    stats: CacheStats,
+    stats: CacheEvents,
 }
 
 /// Cache line size in bytes (Tab. III: 64 B everywhere).
@@ -67,28 +77,53 @@ impl Cache {
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         Self {
             sets: vec![
-                vec![Way { tag: 0, valid: false, dirty: false, used: 0 }; assoc];
+                vec![
+                    Way {
+                        tag: 0,
+                        valid: false,
+                        dirty: false,
+                        used: 0
+                    };
+                    assoc
+                ];
                 sets as usize
             ],
             set_mask: sets - 1,
             stamp: 0,
-            stats: CacheStats::default(),
+            stats: CacheEvents::default(),
         }
     }
 
-    /// Accumulated statistics.
-    pub fn stats(&self) -> &CacheStats {
-        &self.stats
+    /// Snapshot of the accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.stats.hits.get(),
+            misses: self.stats.misses.get(),
+            writebacks: self.stats.writebacks.get(),
+        }
     }
 
     /// Resets statistics; contents are preserved.
     pub fn reset_stats(&mut self) {
-        self.stats = CacheStats::default();
+        self.stats.hits.reset();
+        self.stats.misses.reset();
+        self.stats.writebacks.reset();
+    }
+
+    /// Registers this cache's counters under `prefix` (e.g. `cache.l1`
+    /// → `cache.l1.hit.total`).
+    pub fn register_metrics(&self, registry: &Registry, prefix: &str) {
+        registry.register_counter(&format!("{prefix}.hit.total"), &self.stats.hits);
+        registry.register_counter(&format!("{prefix}.miss.total"), &self.stats.misses);
+        registry.register_counter(&format!("{prefix}.writeback.total"), &self.stats.writebacks);
     }
 
     fn index(&self, addr: u64) -> (usize, u64) {
         let line = addr / LINE_BYTES;
-        ((line & self.set_mask) as usize, line >> self.set_mask.count_ones())
+        (
+            (line & self.set_mask) as usize,
+            line >> self.set_mask.count_ones(),
+        )
     }
 
     /// Looks up `addr` without changing state; returns `true` on hit.
@@ -107,7 +142,10 @@ impl Cache {
             way.used = self.stamp;
             way.dirty |= is_write;
             self.stats.hits += 1;
-            return CacheAccess { hit: true, evicted_dirty: None };
+            return CacheAccess {
+                hit: true,
+                evicted_dirty: None,
+            };
         }
         self.stats.misses += 1;
         // Victim: invalid way first, else LRU.
@@ -118,14 +156,22 @@ impl Cache {
             .map(|(i, _)| i)
             .expect("associativity >= 1");
         let old = set_ways[victim];
-        set_ways[victim] = Way { tag, valid: true, dirty: is_write, used: self.stamp };
+        set_ways[victim] = Way {
+            tag,
+            valid: true,
+            dirty: is_write,
+            used: self.stamp,
+        };
         let evicted_dirty = if old.valid && old.dirty {
             self.stats.writebacks += 1;
             Some(self.line_addr(set, old.tag))
         } else {
             None
         };
-        CacheAccess { hit: false, evicted_dirty }
+        CacheAccess {
+            hit: false,
+            evicted_dirty,
+        }
     }
 
     /// Invalidates `addr` if present, returning its line address when the

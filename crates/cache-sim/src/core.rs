@@ -38,7 +38,12 @@ pub struct CoreParams {
 impl CoreParams {
     /// Tab. III configuration.
     pub fn paper_default() -> Self {
-        Self { issue_width: 4, mlp: 10, l2_penalty: 2, l3_penalty: 8 }
+        Self {
+            issue_width: 4,
+            mlp: 10,
+            l2_penalty: 2,
+            l3_penalty: 8,
+        }
     }
 }
 
@@ -209,22 +214,34 @@ mod tests {
     fn l1_hits_are_free() {
         let mut core = Core::new(CoreParams::paper_default());
         let mut h = Hierarchy::single_core();
-        let mut b = CountingBackend { latency: 100, ..Default::default() };
+        let mut b = CountingBackend {
+            latency: 100,
+            ..Default::default()
+        };
         // One miss then many hits to the same line.
         let mut trace = vec![TraceOp::Read(0)];
         trace.extend(std::iter::repeat_n(TraceOp::Read(0), 100));
         let cycles = core.run(trace, &mut h, &mut b);
         // One exposed 100-cycle miss dominates.
         assert!(cycles >= 100);
-        assert!(cycles <= 130, "hits must not accumulate stall, got {cycles}");
+        assert!(
+            cycles <= 130,
+            "hits must not accumulate stall, got {cycles}"
+        );
     }
 
     #[test]
     fn independent_misses_overlap_up_to_mlp() {
-        let params = CoreParams { mlp: 4, ..CoreParams::paper_default() };
+        let params = CoreParams {
+            mlp: 4,
+            ..CoreParams::paper_default()
+        };
         let mut core = Core::new(params);
         let mut h = Hierarchy::single_core();
-        let mut b = CountingBackend { latency: 100, ..Default::default() };
+        let mut b = CountingBackend {
+            latency: 100,
+            ..Default::default()
+        };
         // 8 misses to distinct lines with no compute between them: with
         // MLP=4 the total should be ~2 serialized batches, far below 800.
         let trace: Vec<_> = (0..8).map(|i| TraceOp::Read(i * 64)).collect();
@@ -238,7 +255,10 @@ mod tests {
     fn stores_do_not_block_retirement() {
         let mut core = Core::new(CoreParams::paper_default());
         let mut h = Hierarchy::single_core();
-        let mut b = CountingBackend { latency: 500, ..Default::default() };
+        let mut b = CountingBackend {
+            latency: 500,
+            ..Default::default()
+        };
         let trace: Vec<_> = (0..5).map(|i| TraceOp::Write(i * 64)).collect();
         for op in trace {
             core.step(op, &mut h, &mut b);
@@ -253,7 +273,10 @@ mod tests {
     fn finish_is_idempotent() {
         let mut core = Core::new(CoreParams::paper_default());
         let mut h = Hierarchy::single_core();
-        let mut b = CountingBackend { latency: 50, ..Default::default() };
+        let mut b = CountingBackend {
+            latency: 50,
+            ..Default::default()
+        };
         core.step(TraceOp::Read(0), &mut h, &mut b);
         let c1 = core.finish();
         let c2 = core.finish();

@@ -1,6 +1,7 @@
 //! Three-level cache hierarchy in front of a pluggable memory backend.
 
 use crate::cache::{Cache, CacheStats};
+use compresso_telemetry::Registry;
 
 /// Where in the hierarchy an access was satisfied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -58,17 +59,27 @@ pub struct PrivateCaches {
 impl PrivateCaches {
     /// The paper's private hierarchy: 64 KB L1D, 512 KB L2 (Tab. III).
     pub fn paper_default() -> Self {
-        Self { l1: Cache::new(64 << 10, 8), l2: Cache::new(512 << 10, 8) }
+        Self {
+            l1: Cache::new(64 << 10, 8),
+            l2: Cache::new(512 << 10, 8),
+        }
     }
 
     /// L1 statistics.
-    pub fn l1_stats(&self) -> &CacheStats {
+    pub fn l1_stats(&self) -> CacheStats {
         self.l1.stats()
     }
 
     /// L2 statistics.
-    pub fn l2_stats(&self) -> &CacheStats {
+    pub fn l2_stats(&self) -> CacheStats {
         self.l2.stats()
+    }
+
+    /// Registers both private levels under `prefix` (`{prefix}.l1.*`,
+    /// `{prefix}.l2.*`).
+    pub fn register_metrics(&self, registry: &Registry, prefix: &str) {
+        self.l1.register_metrics(registry, &format!("{prefix}.l1"));
+        self.l2.register_metrics(registry, &format!("{prefix}.l2"));
     }
 }
 
@@ -92,7 +103,10 @@ pub struct HierarchyAccess {
 impl Hierarchy {
     /// Single-core configuration: 2 MB 16-way L3 (Tab. III).
     pub fn single_core() -> Self {
-        Self { private: PrivateCaches::paper_default(), l3: Cache::new(2 << 20, 16) }
+        Self {
+            private: PrivateCaches::paper_default(),
+            l3: Cache::new(2 << 20, 16),
+        }
     }
 
     /// Builds from explicit parts (used by the multi-core wrapper).
@@ -106,8 +120,15 @@ impl Hierarchy {
     }
 
     /// L3 stats.
-    pub fn l3_stats(&self) -> &CacheStats {
+    pub fn l3_stats(&self) -> CacheStats {
         self.l3.stats()
+    }
+
+    /// Registers per-level hit/miss/writeback counters for the whole
+    /// hierarchy under `prefix` (`{prefix}.l1.hit.total`, ...).
+    pub fn register_metrics(&self, registry: &Registry, prefix: &str) {
+        self.private.register_metrics(registry, prefix);
+        self.l3.register_metrics(registry, &format!("{prefix}.l3"));
     }
 
     /// Accesses `addr` at `now`, consulting the backend on an LLC miss.
@@ -126,7 +147,10 @@ impl Hierarchy {
             self.install_l2(now, victim, backend);
         }
         if l1.hit {
-            return HierarchyAccess { level: HitLevel::L1, data_ready: now };
+            return HierarchyAccess {
+                level: HitLevel::L1,
+                data_ready: now,
+            };
         }
 
         let l2 = self.private.l2.access(addr, false);
@@ -134,7 +158,10 @@ impl Hierarchy {
             self.install_l3(now, victim, backend);
         }
         if l2.hit {
-            return HierarchyAccess { level: HitLevel::L2, data_ready: now };
+            return HierarchyAccess {
+                level: HitLevel::L2,
+                data_ready: now,
+            };
         }
 
         let l3 = self.l3.access(addr, false);
@@ -142,11 +169,17 @@ impl Hierarchy {
             backend.writeback(now, victim);
         }
         if l3.hit {
-            return HierarchyAccess { level: HitLevel::L3, data_ready: now };
+            return HierarchyAccess {
+                level: HitLevel::L3,
+                data_ready: now,
+            };
         }
 
         let ready = backend.fill(now, addr);
-        HierarchyAccess { level: HitLevel::Memory, data_ready: ready }
+        HierarchyAccess {
+            level: HitLevel::Memory,
+            data_ready: ready,
+        }
     }
 
     fn install_l2<B: Backend>(&mut self, now: u64, addr: u64, backend: &mut B) {
@@ -208,7 +241,10 @@ mod tests {
     #[test]
     fn first_access_goes_to_memory() {
         let mut h = Hierarchy::single_core();
-        let mut b = CountingBackend { latency: 100, ..Default::default() };
+        let mut b = CountingBackend {
+            latency: 100,
+            ..Default::default()
+        };
         let r = h.access(0, 0x1000, false, &mut b);
         assert_eq!(r.level, HitLevel::Memory);
         assert_eq!(r.data_ready, 100);
@@ -250,13 +286,19 @@ mod tests {
         for i in 1..lines {
             h.access(0, i * 64, false, &mut b);
         }
-        assert!(b.writebacks.contains(&0), "dirty line must reach the backend");
+        assert!(
+            b.writebacks.contains(&0),
+            "dirty line must reach the backend"
+        );
     }
 
     #[test]
     fn write_allocate_fills_from_memory() {
         let mut h = Hierarchy::single_core();
-        let mut b = CountingBackend { latency: 80, ..Default::default() };
+        let mut b = CountingBackend {
+            latency: 80,
+            ..Default::default()
+        };
         let r = h.access(0, 0x2000, true, &mut b);
         assert_eq!(r.level, HitLevel::Memory);
         assert_eq!(b.fills, vec![0x2000]);

@@ -7,6 +7,7 @@
 use crate::cache::Cache;
 use crate::core::{Core, CoreParams, CoreStats, TraceOp};
 use crate::hierarchy::{Backend, Hierarchy, PrivateCaches};
+use compresso_telemetry::Registry;
 
 /// Result of a multi-core run.
 #[derive(Debug, Clone)]
@@ -37,10 +38,29 @@ pub fn run_multicore<B: Backend>(
     params: CoreParams,
     backend: &mut B,
 ) -> MulticoreResult {
-    run_multicore_with_l3(traces, params, Cache::new(8 << 20, 16), backend)
+    run_multicore_with_l3(traces, params, Cache::new(8 << 20, 16), backend, None)
 }
 
-/// As [`run_multicore`] but with an explicit shared L3.
+/// As [`run_multicore`] but registering per-core private-cache and
+/// shared-L3 counters (`cache.core0.l1.hit.total`,
+/// `cache.l3.miss.total`, ...) into `registry`.
+pub fn run_multicore_instrumented<B: Backend>(
+    traces: Vec<Vec<TraceOp>>,
+    params: CoreParams,
+    backend: &mut B,
+    registry: &Registry,
+) -> MulticoreResult {
+    run_multicore_with_l3(
+        traces,
+        params,
+        Cache::new(8 << 20, 16),
+        backend,
+        Some(registry),
+    )
+}
+
+/// As [`run_multicore`] but with an explicit shared L3 and optional
+/// metric registration.
 ///
 /// # Panics
 ///
@@ -50,6 +70,7 @@ pub fn run_multicore_with_l3<B: Backend>(
     params: CoreParams,
     shared_l3: Cache,
     backend: &mut B,
+    registry: Option<&Registry>,
 ) -> MulticoreResult {
     assert!(!traces.is_empty(), "need at least one core");
     let n = traces.len();
@@ -57,8 +78,18 @@ pub fn run_multicore_with_l3<B: Backend>(
     // that all per-core Hierarchy values borrow in turn. Because we
     // advance one core at a time, we move the L3 in and out of a slot.
     let mut l3 = Some(shared_l3);
-    let mut privates: Vec<Option<PrivateCaches>> =
-        (0..n).map(|_| Some(PrivateCaches::paper_default())).collect();
+    let mut privates: Vec<Option<PrivateCaches>> = (0..n)
+        .map(|_| Some(PrivateCaches::paper_default()))
+        .collect();
+    if let Some(reg) = registry {
+        for (i, private) in privates.iter().enumerate() {
+            let private = private.as_ref().expect("private caches present");
+            private.register_metrics(reg, &format!("cache.core{i}"));
+        }
+        l3.as_ref()
+            .expect("shared L3 present")
+            .register_metrics(reg, "cache.l3");
+    }
     let mut cores: Vec<Core> = (0..n).map(|_| Core::new(params)).collect();
     let mut cursors = vec![0usize; n];
 
@@ -106,8 +137,13 @@ mod tests {
 
     #[test]
     fn four_cores_complete() {
-        let traces: Vec<_> = (0..4).map(|c| streaming_trace(c as u64 * (1 << 30), 256)).collect();
-        let mut b = CountingBackend { latency: 100, ..Default::default() };
+        let traces: Vec<_> = (0..4)
+            .map(|c| streaming_trace(c as u64 * (1 << 30), 256))
+            .collect();
+        let mut b = CountingBackend {
+            latency: 100,
+            ..Default::default()
+        };
         let result = run_multicore(traces, CoreParams::paper_default(), &mut b);
         assert_eq!(result.cycles.len(), 4);
         assert_eq!(b.fills.len(), 4 * 256);
@@ -121,7 +157,10 @@ mod tests {
         // All cores stream the same region: later cores should hit in the
         // shared L3 and produce no extra fills.
         let traces: Vec<_> = (0..4).map(|_| streaming_trace(0, 128)).collect();
-        let mut b = CountingBackend { latency: 100, ..Default::default() };
+        let mut b = CountingBackend {
+            latency: 100,
+            ..Default::default()
+        };
         let result = run_multicore(traces, CoreParams::paper_default(), &mut b);
         assert!(
             b.fills.len() < 4 * 128,
@@ -134,7 +173,10 @@ mod tests {
     #[test]
     fn single_core_trace_matches_core_run() {
         let trace = streaming_trace(0, 64);
-        let mut b = CountingBackend { latency: 100, ..Default::default() };
+        let mut b = CountingBackend {
+            latency: 100,
+            ..Default::default()
+        };
         let result = run_multicore(vec![trace], CoreParams::paper_default(), &mut b);
         assert_eq!(result.cycles.len(), 1);
         assert!(result.max_cycles() > 0);

@@ -39,7 +39,7 @@ proptest! {
         for &(addr, write) in &ops {
             cache.access(addr / 64 * 64, write);
         }
-        let s = *cache.stats();
+        let s = cache.stats();
         prop_assert_eq!(s.hits + s.misses, ops.len() as u64);
         prop_assert!(s.writebacks <= s.misses, "a writeback needs an eviction");
     }

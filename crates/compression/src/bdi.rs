@@ -67,7 +67,9 @@ impl Compressor for Bdi {
         let mut best: Option<CompressedLine> = None;
         for &(base_size, delta_size, mode) in GEOMETRIES.iter() {
             if let Some(encoded) = try_geometry(line, base_size, delta_size, mode) {
-                let better = best.as_ref().is_none_or(|b| encoded.bit_len() < b.bit_len());
+                let better = best
+                    .as_ref()
+                    .is_none_or(|b| encoded.bit_len() < b.bit_len());
                 if better {
                     best = Some(encoded);
                 }
@@ -143,7 +145,12 @@ fn fits_signed(value: i128, bytes: usize) -> bool {
     (min..=max).contains(&value)
 }
 
-fn try_geometry(line: &Line, base_size: usize, delta_size: usize, mode: u64) -> Option<CompressedLine> {
+fn try_geometry(
+    line: &Line,
+    base_size: usize,
+    delta_size: usize,
+    mode: u64,
+) -> Option<CompressedLine> {
     let n = LINE_SIZE / base_size;
     // The base is the first element that is not representable as a delta
     // from zero (the canonical BDI choice).
@@ -275,7 +282,11 @@ mod tests {
         // immediate mask to matter.
         let mut line = [0u8; LINE_SIZE];
         for (i, chunk) in line.chunks_exact_mut(8).enumerate() {
-            let v: u64 = if i % 2 == 0 { 0 } else { 0x5555_0000_0000 + i as u64 };
+            let v: u64 = if i % 2 == 0 {
+                0
+            } else {
+                0x5555_0000_0000 + i as u64
+            };
             chunk.copy_from_slice(&v.to_le_bytes());
         }
         let size = roundtrip(&line);

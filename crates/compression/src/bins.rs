@@ -43,18 +43,27 @@ pub struct BinSet {
 impl BinSet {
     /// Compresso's alignment-friendly bins `{0, 8, 32, 64}`.
     pub fn aligned4() -> Self {
-        Self { sizes: vec![0, 8, 32, 64], name: "aligned4" }
+        Self {
+            sizes: vec![0, 8, 32, 64],
+            name: "aligned4",
+        }
     }
 
     /// Prior work's compression-optimal bins `{0, 22, 44, 64}`.
     pub fn legacy4() -> Self {
-        Self { sizes: vec![0, 22, 44, 64], name: "legacy4" }
+        Self {
+            sizes: vec![0, 22, 44, 64],
+            name: "legacy4",
+        }
     }
 
     /// An eight-bin set offering finer granularity at the cost of more
     /// overflows and 3-bit line codes.
     pub fn eight() -> Self {
-        Self { sizes: vec![0, 8, 16, 24, 32, 40, 48, 64], name: "eight" }
+        Self {
+            sizes: vec![0, 8, 16, 24, 32, 40, 48, 64],
+            name: "eight",
+        }
     }
 
     /// A custom bin set.
@@ -66,7 +75,10 @@ impl BinSet {
     pub fn custom(name: &'static str, sizes: Vec<u8>) -> Self {
         assert!(sizes.first() == Some(&0), "bin set must start at 0");
         assert!(sizes.last() == Some(&64), "bin set must end at 64");
-        assert!(sizes.windows(2).all(|w| w[0] < w[1]), "bin sizes must be strictly ascending");
+        assert!(
+            sizes.windows(2).all(|w| w[0] < w[1]),
+            "bin sizes must be strictly ascending"
+        );
         Self { sizes, name }
     }
 
@@ -93,7 +105,9 @@ impl BinSet {
     /// Bits of per-line metadata needed to encode a bin index
     /// (2 bits for 4 bins, 3 bits for 8).
     pub fn code_bits(&self) -> u32 {
-        (self.sizes.len() as u32).next_power_of_two().trailing_zeros()
+        (self.sizes.len() as u32)
+            .next_power_of_two()
+            .trailing_zeros()
     }
 
     /// Quantizes a compressed byte size up to the smallest bin that fits.
@@ -111,7 +125,10 @@ impl BinSet {
         }
         for (i, &b) in self.sizes.iter().enumerate().skip(1) {
             if size <= b as usize {
-                return SizeBin { index: i as u8, bytes: b };
+                return SizeBin {
+                    index: i as u8,
+                    bytes: b,
+                };
             }
         }
         unreachable!("last bin is 64");
@@ -123,7 +140,10 @@ impl BinSet {
     ///
     /// Panics if `index` is out of range.
     pub fn bin(&self, index: u8) -> SizeBin {
-        SizeBin { index, bytes: self.sizes[index as usize] }
+        SizeBin {
+            index,
+            bytes: self.sizes[index as usize],
+        }
     }
 
     /// Largest (uncompressed) bin.

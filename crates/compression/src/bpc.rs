@@ -95,7 +95,11 @@ impl Compressor for Bpc {
         // bit-plane encoding and keep the smaller result.
         let transformed = encode_transformed(line);
         let plain = encode_bitplane(line);
-        let best = if transformed.bit_len() <= plain.bit_len() { transformed } else { plain };
+        let best = if transformed.bit_len() <= plain.bit_len() {
+            transformed
+        } else {
+            plain
+        };
         if best.bit_len() >= LINE_SIZE * 8 {
             encode_raw(line)
         } else {
@@ -164,7 +168,11 @@ fn encode_transformed(line: &Line) -> CompressedLine {
     // plane is emitted as-is.
     let mut dbx = [0u32; DELTA_BITS];
     for b in 0..DELTA_BITS {
-        dbx[b] = if b + 1 < DELTA_BITS { planes[b] ^ planes[b + 1] } else { planes[b] };
+        dbx[b] = if b + 1 < DELTA_BITS {
+            planes[b] ^ planes[b + 1]
+        } else {
+            planes[b]
+        };
     }
 
     let mut w = BitWriter::new();
@@ -250,7 +258,11 @@ fn encode_raw(line: &Line) -> CompressedLine {
 /// Encodes `planes` (each `width` bits wide) with the pattern code table,
 /// run-length-collapsing consecutive all-zero planes.
 fn encode_planes(w: &mut BitWriter, planes: &[u32], width: usize) {
-    let ones_mask: u32 = if width == 32 { u32::MAX } else { (1 << width) - 1 };
+    let ones_mask: u32 = if width == 32 {
+        u32::MAX
+    } else {
+        (1 << width) - 1
+    };
     let mut i = 0;
     while i < planes.len() {
         let plane = planes[i] & ones_mask;
@@ -286,7 +298,11 @@ fn is_two_consecutive(plane: u32) -> bool {
 }
 
 fn decode_planes(r: &mut BitReader<'_>, planes: &mut [u32], width: usize) {
-    let ones_mask: u32 = if width == 32 { u32::MAX } else { (1 << width) - 1 };
+    let ones_mask: u32 = if width == 32 {
+        u32::MAX
+    } else {
+        (1 << width) - 1
+    };
     let mut i = 0;
     while i < planes.len() {
         if r.read_bit() {
@@ -358,7 +374,9 @@ mod tests {
         let mut line = [0u8; LINE_SIZE];
         let mut state = 0x9E3779B97F4A7C15u64;
         for byte in line.iter_mut() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             *byte = (state >> 33) as u8;
         }
         assert_eq!(roundtrip(&line), LINE_SIZE);
@@ -375,7 +393,10 @@ mod tests {
         // Wide symbol swings (lo-word, zero, 0xAB00, 0x7FFF, ...) limit
         // BPC here; it still beats raw storage.
         let size = roundtrip(&line);
-        assert!(size < LINE_SIZE, "pointer array should beat raw, got {size}");
+        assert!(
+            size < LINE_SIZE,
+            "pointer array should beat raw, got {size}"
+        );
     }
 
     #[test]

@@ -105,7 +105,11 @@ impl Compressor for CPack {
     }
 
     fn decompress(&self, compressed: &CompressedLine) -> Line {
-        assert_eq!(compressed.algorithm(), Algorithm::CPack, "not a C-Pack stream");
+        assert_eq!(
+            compressed.algorithm(),
+            Algorithm::CPack,
+            "not a C-Pack stream"
+        );
         let mut r = BitReader::new(compressed.payload());
         let mut dict = Dictionary::default();
         let mut line = [0u8; LINE_SIZE];
@@ -203,7 +207,9 @@ mod tests {
         let mut line = [0u8; LINE_SIZE];
         let mut state = 0x853C_49E6_748F_EA9Bu64;
         for byte in line.iter_mut() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             *byte = (state >> 32) as u8;
         }
         let size = roundtrip(&line);

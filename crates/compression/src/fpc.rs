@@ -234,7 +234,9 @@ mod tests {
         let mut line = [0u8; LINE_SIZE];
         let mut state = 0xB5297A4D3F84D5B5u64;
         for byte in line.iter_mut() {
-            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            state = state
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
             *byte = (state >> 40) as u8;
         }
         assert_eq!(roundtrip(&line), LINE_SIZE);

@@ -102,12 +102,20 @@ impl CompressedLine {
     /// [`CompressedLine::raw`].
     pub fn new(algorithm: Algorithm, payload: Vec<u8>, bit_len: usize) -> Self {
         debug_assert!(payload.len() * 8 >= bit_len);
-        Self { algorithm, payload, bit_len }
+        Self {
+            algorithm,
+            payload,
+            bit_len,
+        }
     }
 
     /// Wraps an uncompressed line (occupies the full 64 bytes).
     pub fn raw(line: &Line) -> Self {
-        Self { algorithm: Algorithm::Raw, payload: line.to_vec(), bit_len: LINE_SIZE * 8 }
+        Self {
+            algorithm: Algorithm::Raw,
+            payload: line.to_vec(),
+            bit_len: LINE_SIZE * 8,
+        }
     }
 
     /// The algorithm that produced this encoding.

@@ -20,7 +20,11 @@ fn arb_line() -> impl Strategy<Value = Line> {
 /// Structured lines: more likely to exercise the compressible paths than
 /// uniform random bytes.
 fn arb_structured_line() -> impl Strategy<Value = Line> {
-    (any::<u64>(), 0u64..256, prop::sample::select(vec![1u64, 2, 4, 8, 16, 64, 4096]))
+    (
+        any::<u64>(),
+        0u64..256,
+        prop::sample::select(vec![1u64, 2, 4, 8, 16, 64, 4096]),
+    )
         .prop_map(|(base, step_scale, stride)| {
             let mut line = [0u8; LINE_SIZE];
             for (i, chunk) in line.chunks_exact_mut(8).enumerate() {

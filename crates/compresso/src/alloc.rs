@@ -8,6 +8,7 @@
 
 use crate::error::CompressoError;
 use crate::metadata::CHUNK_BYTES;
+use compresso_telemetry::{Gauge, Registry};
 
 /// Error returned when the machine physical space is exhausted — the
 /// trigger for ballooning (§V-B).
@@ -28,6 +29,8 @@ impl std::error::Error for OutOfMpaSpace {}
 pub struct ChunkAllocator {
     free: Vec<u32>,
     total: u32,
+    /// Telemetry mirror of `used_bytes()`.
+    used_gauge: Gauge,
 }
 
 impl ChunkAllocator {
@@ -36,7 +39,17 @@ impl ChunkAllocator {
         let total = (capacity_bytes / CHUNK_BYTES as u64) as u32;
         // Free list kept so that low chunk ids are handed out first.
         let free = (0..total).rev().collect();
-        Self { free, total }
+        Self {
+            free,
+            total,
+            used_gauge: Gauge::new(),
+        }
+    }
+
+    /// Registers the allocator's in-use level under `prefix`
+    /// (`{prefix}.used_bytes`).
+    pub fn register_metrics(&self, registry: &Registry, prefix: &str) {
+        registry.register_gauge(&format!("{prefix}.used_bytes"), &self.used_gauge);
     }
 
     /// Allocates one chunk, returning its frame number.
@@ -45,13 +58,16 @@ impl ChunkAllocator {
     ///
     /// Returns [`OutOfMpaSpace`] when no chunks remain.
     pub fn alloc(&mut self) -> Result<u32, OutOfMpaSpace> {
-        self.free.pop().ok_or(OutOfMpaSpace)
+        let chunk = self.free.pop().ok_or(OutOfMpaSpace)?;
+        self.used_gauge.set(self.used_bytes() as i64);
+        Ok(chunk)
     }
 
     /// Frees a chunk.
     pub fn free(&mut self, chunk: u32) {
         debug_assert!(chunk < self.total);
         self.free.push(chunk);
+        self.used_gauge.set(self.used_bytes() as i64);
     }
 
     /// Chunks currently allocated.
@@ -83,6 +99,8 @@ pub struct BuddyAllocator {
     free: [Vec<u64>; 4],
     capacity: u64,
     used: u64,
+    /// Telemetry mirror of `used_bytes()`.
+    used_gauge: Gauge,
 }
 
 impl BuddyAllocator {
@@ -92,7 +110,18 @@ impl BuddyAllocator {
         let blocks = capacity_bytes / 4096;
         let mut free: [Vec<u64>; 4] = Default::default();
         free[3] = (0..blocks).rev().map(|b| b * 4096).collect();
-        Self { free, capacity: blocks * 4096, used: 0 }
+        Self {
+            free,
+            capacity: blocks * 4096,
+            used: 0,
+            used_gauge: Gauge::new(),
+        }
+    }
+
+    /// Registers the allocator's in-use level under `prefix`
+    /// (`{prefix}.used_bytes`).
+    pub fn register_metrics(&self, registry: &Registry, prefix: &str) {
+        registry.register_gauge(&format!("{prefix}.used_bytes"), &self.used_gauge);
     }
 
     fn order_of(bytes: u32) -> Result<usize, CompressoError> {
@@ -145,6 +174,7 @@ impl BuddyAllocator {
             self.free[order].push(buddy);
         }
         self.used += Self::order_bytes(want);
+        self.used_gauge.set(self.used as i64);
         Ok(addr)
     }
 
@@ -160,6 +190,7 @@ impl BuddyAllocator {
             Self::order_of(Self::round_up(bytes)).expect("round_up yields a supported size")
         });
         self.used -= Self::order_bytes(order);
+        self.used_gauge.set(self.used as i64);
         let mut addr = addr;
         while order < 3 {
             let buddy = addr ^ Self::order_bytes(order);
@@ -245,9 +276,15 @@ mod tests {
     #[test]
     fn buddy_rejects_odd_sizes_with_typed_error() {
         let mut b = BuddyAllocator::new(4096);
-        assert_eq!(b.alloc(1536), Err(CompressoError::UnsupportedAllocSize(1536)));
+        assert_eq!(
+            b.alloc(1536),
+            Err(CompressoError::UnsupportedAllocSize(1536))
+        );
         assert_eq!(b.alloc(0), Err(CompressoError::UnsupportedAllocSize(0)));
-        assert_eq!(b.alloc(8192), Err(CompressoError::UnsupportedAllocSize(8192)));
+        assert_eq!(
+            b.alloc(8192),
+            Err(CompressoError::UnsupportedAllocSize(8192))
+        );
         // A rejected request must not leak or consume capacity.
         assert_eq!(b.used_bytes(), 0);
         assert!(b.alloc(4096).is_ok());

@@ -6,14 +6,15 @@ use crate::config::{CompressoConfig, PageAllocation};
 use crate::device::MemoryDevice;
 use crate::error::CompressoError;
 use crate::faultkit::{FaultPlan, FaultStats, MetadataFault};
+use crate::mcache::MetadataCache;
 use crate::metadata::{LineLocation, PageMeta, CHUNK_BYTES, LINES_PER_PAGE, PAGE_BYTES};
 use crate::metadata_codec;
-use crate::mcache::MetadataCache;
 use crate::predictor::OverflowPredictor;
-use crate::stats::DeviceStats;
+use crate::stats::{DeviceEvents, DeviceStats};
 use compresso_cache_sim::Backend;
 use compresso_compression::{Bdi, Bpc, Compressor, Fpc, Line};
 use compresso_mem_sim::{MainMemory, MemConfig, MemStats};
+use compresso_telemetry::Registry;
 use compresso_workloads::LineSource;
 use std::collections::{HashMap, VecDeque};
 
@@ -78,7 +79,8 @@ pub struct CompressoDevice {
     predictor: OverflowPredictor,
     size_cache: HashMap<(u64, u64), u8>,
     prefetch: VecDeque<(u64, u32)>,
-    stats: DeviceStats,
+    stats: DeviceEvents,
+    registry: Registry,
     faults: Option<FaultPlan>,
 }
 
@@ -88,7 +90,7 @@ pub struct CompressoDevice {
 pub(crate) fn alloc_chunk_with_retry(
     alloc: &mut ChunkAllocator,
     faults: &mut Option<FaultPlan>,
-    stats: &mut DeviceStats,
+    stats: &mut DeviceEvents,
 ) -> Result<u32, CompressoError> {
     for attempt in 0..=MAX_ALLOC_RETRIES {
         if let Some(f) = faults.as_mut() {
@@ -115,7 +117,7 @@ pub(crate) fn alloc_buddy_with_retry(
     alloc: &mut BuddyAllocator,
     bytes: u32,
     faults: &mut Option<FaultPlan>,
-    stats: &mut DeviceStats,
+    stats: &mut DeviceEvents,
 ) -> Result<u64, CompressoError> {
     for attempt in 0..=MAX_ALLOC_RETRIES {
         if let Some(f) = faults.as_mut() {
@@ -142,7 +144,7 @@ impl std::fmt::Debug for CompressoDevice {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CompressoDevice")
             .field("pages", &self.pages.len())
-            .field("stats", &self.stats)
+            .field("stats", &self.stats.snapshot())
             .finish_non_exhaustive()
     }
 }
@@ -160,10 +162,12 @@ impl CompressoDevice {
         codec: Codec,
     ) -> Self {
         let alloc = match config.allocation {
-            PageAllocation::Chunks512 => Allocator::Chunks(ChunkAllocator::new(config.mpa_capacity)),
+            PageAllocation::Chunks512 => {
+                Allocator::Chunks(ChunkAllocator::new(config.mpa_capacity))
+            }
             PageAllocation::Variable4 => Allocator::Buddy(BuddyAllocator::new(config.mpa_capacity)),
         };
-        Self {
+        let device = Self {
             mcache: MetadataCache::paper_default(config.mcache_half_entries),
             mem: MainMemory::new(MemConfig::ddr4_2666()),
             cfg: config,
@@ -175,8 +179,24 @@ impl CompressoDevice {
             predictor: OverflowPredictor::new(),
             size_cache: HashMap::new(),
             prefetch: VecDeque::new(),
-            stats: DeviceStats::default(),
+            stats: DeviceEvents::new(),
+            registry: Registry::new(),
             faults: None,
+        };
+        device.register_all_metrics();
+        device
+    }
+
+    /// Registers every subsystem's metrics into this device's registry
+    /// under the DESIGN.md §9 prefixes.
+    fn register_all_metrics(&self) {
+        self.stats.register_metrics(&self.registry, "compresso");
+        self.mem.register_metrics(&self.registry, "dram");
+        self.mcache.register_metrics(&self.registry, "mcache");
+        self.predictor.register_metrics(&self.registry, "predictor");
+        match &self.alloc {
+            Allocator::Chunks(a) => a.register_metrics(&self.registry, "alloc"),
+            Allocator::Buddy(a) => a.register_metrics(&self.registry, "alloc"),
         }
     }
 
@@ -281,10 +301,11 @@ impl CompressoDevice {
                 Ok(chunks)
             }
             Allocator::Buddy(a) => {
-                let base =
-                    alloc_buddy_with_retry(a, bytes, &mut self.faults, &mut self.stats)?;
+                let base = alloc_buddy_with_retry(a, bytes, &mut self.faults, &mut self.stats)?;
                 self.buddy_base.insert(page, base);
-                Ok((0..bytes.div_ceil(CHUNK_BYTES)).map(|i| (base / 512) as u32 + i).collect())
+                Ok((0..bytes.div_ceil(CHUNK_BYTES))
+                    .map(|i| (base / 512) as u32 + i)
+                    .collect())
             }
         }
     }
@@ -341,7 +362,12 @@ impl CompressoDevice {
                 let new_base = if new_bytes == 0 {
                     None
                 } else {
-                    Some(alloc_buddy_with_retry(a, new_bytes, &mut self.faults, &mut self.stats)?)
+                    Some(alloc_buddy_with_retry(
+                        a,
+                        new_bytes,
+                        &mut self.faults,
+                        &mut self.stats,
+                    )?)
                 };
                 if let Some(old) = self.buddy_base.remove(&page) {
                     a.free(old, meta.page_bytes.max(512));
@@ -376,8 +402,10 @@ impl CompressoDevice {
         let meta = if all_zero {
             PageMeta::zero_page()
         } else {
-            let data_bytes: u32 =
-                bins.iter().map(|&b| self.cfg.bins.bin(b).bytes as u32).sum();
+            let data_bytes: u32 = bins
+                .iter()
+                .map(|&b| self.cfg.bins.bin(b).bytes as u32)
+                .sum();
             // A page whose lines are all 64 B bins carries no compression:
             // store it raw, which also makes its metadata eligible for the
             // half-entry optimization (§IV-B5).
@@ -425,7 +453,11 @@ impl CompressoDevice {
     /// Performs the metadata access for `page`, returning the cycle at
     /// which translation is available.
     fn metadata_access(&mut self, now: u64, page: u64, dirty: bool) -> u64 {
-        let uncompressed = self.pages.get(&page).map(|m| !m.compressed).unwrap_or(false);
+        let uncompressed = self
+            .pages
+            .get(&page)
+            .map(|m| !m.compressed)
+            .unwrap_or(false);
         let access = self.mcache.access(page, uncompressed, dirty);
         let mut t = now;
         if access.hit {
@@ -484,7 +516,9 @@ impl CompressoDevice {
         match fault {
             MetadataFault::DecodeFailure => self.corruption_fallback(now, page),
             MetadataFault::BitFlip { bit } => {
-                let Some(meta) = self.pages.get(&page) else { return now };
+                let Some(meta) = self.pages.get(&page) else {
+                    return now;
+                };
                 let original = meta.clone();
                 let Ok(mut packed) = metadata_codec::try_encode(meta, &self.cfg.bins) else {
                     return now;
@@ -504,7 +538,9 @@ impl CompressoDevice {
     /// rebuilds its entry). The extra traffic is charged to
     /// [`DeviceStats::fault_extra`].
     fn corruption_fallback(&mut self, now: u64, page: u64) -> u64 {
-        let Some(meta) = self.pages.get(&page).cloned() else { return now };
+        let Some(meta) = self.pages.get(&page).cloned() else {
+            return now;
+        };
         if !meta.valid {
             return now;
         }
@@ -523,10 +559,12 @@ impl CompressoDevice {
                 let moves = old_used.div_ceil(64) + LINES_PER_PAGE as u32;
                 let mut t = now;
                 for i in 0..moves {
-                    let addr =
-                        page * PAGE_BYTES as u64 + (i as u64 % LINES_PER_PAGE as u64) * 64;
-                    let r =
-                        if i % 2 == 0 { self.mem.read(t, addr) } else { self.mem.write(t, addr) };
+                    let addr = page * PAGE_BYTES as u64 + (i as u64 % LINES_PER_PAGE as u64) * 64;
+                    let r = if i % 2 == 0 {
+                        self.mem.read(t, addr)
+                    } else {
+                        self.mem.write(t, addr)
+                    };
                     t = t.max(r.complete_at);
                 }
                 self.stats.fault_extra += moves as u64;
@@ -556,7 +594,9 @@ impl CompressoDevice {
     /// Metadata-cache eviction trigger: repack `page` if doing so frees at
     /// least one 512 B chunk.
     fn maybe_repack(&mut self, now: u64, page: u64) {
-        let Some(meta) = self.pages.get(&page) else { return };
+        let Some(meta) = self.pages.get(&page) else {
+            return;
+        };
         if !meta.valid || meta.zero {
             return;
         }
@@ -571,15 +611,24 @@ impl CompressoDevice {
             *bin = self.line_bin(addr);
             all_zero &= *bin == 0;
         }
-        let new_data: u32 = bins.iter().map(|&b| self.cfg.bins.bin(b).bytes as u32).sum();
-        let new_bytes = if all_zero { 0 } else { self.cfg.allocation.fit(new_data.max(1)) };
+        let new_data: u32 = bins
+            .iter()
+            .map(|&b| self.cfg.bins.bin(b).bytes as u32)
+            .sum();
+        let new_bytes = if all_zero {
+            0
+        } else {
+            self.cfg.allocation.fit(new_data.max(1))
+        };
         if new_bytes + CHUNK_BYTES > old_bytes {
             return; // would not free a chunk: not worth the movement
         }
         // Resize first: a refused allocation must leave the page (and the
         // stats) untouched — the repack simply does not happen.
         let old_meta = self.pages.get(&page).expect("checked above").clone();
-        let Ok(chunks) = self.resize_page(page, &old_meta, new_bytes) else { return };
+        let Ok(chunks) = self.resize_page(page, &old_meta, new_bytes) else {
+            return;
+        };
         // Movement: read the live data, write it repacked.
         let moves = old_used.div_ceil(64) + new_data.div_ceil(64);
         for i in 0..moves {
@@ -618,7 +667,10 @@ impl CompressoDevice {
             let addr = page * PAGE_BYTES as u64 + line as u64 * 64;
             *bin = self.line_bin(addr);
         }
-        let new_data: u32 = bins.iter().map(|&b| self.cfg.bins.bin(b).bytes as u32).sum();
+        let new_data: u32 = bins
+            .iter()
+            .map(|&b| self.cfg.bins.bin(b).bytes as u32)
+            .sum();
         let new_bytes = self.cfg.allocation.fit(new_data.max(1));
         if new_bytes > meta.page_bytes {
             self.stats.page_overflows += 1;
@@ -626,13 +678,19 @@ impl CompressoDevice {
         }
         // Resize before charging movement or touching metadata: a refused
         // allocation keeps the old (stale but consistent) layout.
-        let Ok(chunks) = self.resize_page(page, &meta, new_bytes) else { return now };
+        let Ok(chunks) = self.resize_page(page, &meta, new_bytes) else {
+            return now;
+        };
         let old_used = meta.used_bytes(&self.cfg.bins);
         let moves = old_used.div_ceil(64) + new_data.div_ceil(64);
         let mut t = now;
         for i in 0..moves {
             let addr = page * PAGE_BYTES as u64 + (i as u64 % LINES_PER_PAGE as u64) * 64;
-            let r = if i % 2 == 0 { self.mem.read(t, addr) } else { self.mem.write(t, addr) };
+            let r = if i % 2 == 0 {
+                self.mem.read(t, addr)
+            } else {
+                self.mem.write(t, addr)
+            };
             t = t.max(r.complete_at);
         }
         self.stats.overflow_extra += moves as u64;
@@ -653,7 +711,9 @@ impl CompressoDevice {
     /// the caller falls back to ordinary overflow handling.
     fn inflate_page(&mut self, now: u64, page: u64) -> bool {
         let meta = self.pages.get(&page).expect("page exists").clone();
-        let Ok(chunks) = self.resize_page(page, &meta, PAGE_BYTES) else { return false };
+        let Ok(chunks) = self.resize_page(page, &meta, PAGE_BYTES) else {
+            return false;
+        };
         let old_used = meta.used_bytes(&self.cfg.bins);
         let moves = old_used.div_ceil(64) + LINES_PER_PAGE as u32;
         for i in 0..moves {
@@ -841,10 +901,8 @@ impl Backend for CompressoDevice {
                 }
                 if old_bin.bytes > 0 {
                     let chunks = meta.chunks.clone();
-                    if let LineLocation::Packed { offset, .. } = meta.locate(line, &self.cfg.bins)
-                    {
-                        let bursts =
-                            Self::bursts(&chunks, offset, new_bin.bytes.max(1) as u32);
+                    if let LineLocation::Packed { offset, .. } = meta.locate(line, &self.cfg.bins) {
+                        let bursts = Self::bursts(&chunks, offset, new_bin.bytes.max(1) as u32);
                         for (i, &addr) in bursts.iter().enumerate() {
                             self.mem.write(t, addr);
                             if i == 0 {
@@ -873,7 +931,9 @@ impl CompressoDevice {
 
         // Page-overflow prediction: store the whole page uncompressed.
         // A refused inflation falls through to the ordinary handling.
-        if self.cfg.prediction && self.predictor.should_inflate(page) && self.inflate_page(now, page)
+        if self.cfg.prediction
+            && self.predictor.should_inflate(page)
+            && self.inflate_page(now, page)
         {
             let meta = self.pages.get(&page).expect("page exists");
             let chunks = meta.chunks.clone();
@@ -885,9 +945,7 @@ impl CompressoDevice {
 
         let meta = self.pages.get(&page).expect("page exists");
         // Inflation room: free space and a free pointer → 1 write.
-        if meta.inflated.len() < self.cfg.max_inflated
-            && meta.free_bytes(&self.cfg.bins) >= 64
-        {
+        if meta.inflated.len() < self.cfg.max_inflated && meta.free_bytes(&self.cfg.bins) >= 64 {
             let meta = self.pages.get_mut(&page).expect("page exists");
             meta.inflated.push(line as u8);
             let meta = self.pages.get(&page).expect("page exists");
@@ -951,12 +1009,16 @@ impl MemoryDevice for CompressoDevice {
         "Compresso"
     }
 
-    fn device_stats(&self) -> &DeviceStats {
-        &self.stats
+    fn device_stats(&self) -> DeviceStats {
+        self.stats.snapshot()
     }
 
-    fn dram_stats(&self) -> &MemStats {
+    fn dram_stats(&self) -> MemStats {
         self.mem.stats()
+    }
+
+    fn metrics(&self) -> &Registry {
+        &self.registry
     }
 
     fn compression_ratio(&self) -> f64 {

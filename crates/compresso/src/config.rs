@@ -17,9 +17,7 @@ impl PageAllocation {
     /// The permissible page sizes (bytes), ascending, excluding 0.
     pub fn page_sizes(&self) -> &'static [u32] {
         match self {
-            PageAllocation::Chunks512 => {
-                &[512, 1024, 1536, 2048, 2560, 3072, 3584, 4096]
-            }
+            PageAllocation::Chunks512 => &[512, 1024, 1536, 2048, 2560, 3072, 3584, 4096],
             PageAllocation::Variable4 => &[512, 1024, 2048, 4096],
         }
     }
@@ -113,15 +111,30 @@ impl CompressoConfig {
     pub fn ablation_ladder(allocation: PageAllocation) -> Vec<(&'static str, Self)> {
         let base = Self::unoptimized(allocation);
         let mut ladder = vec![("baseline", base.clone())];
-        let aligned = Self { bins: BinSet::aligned4(), ..base };
+        let aligned = Self {
+            bins: BinSet::aligned4(),
+            ..base
+        };
         ladder.push(("+alignment-friendly", aligned.clone()));
-        let predicted = Self { prediction: true, ..aligned };
+        let predicted = Self {
+            prediction: true,
+            ..aligned
+        };
         ladder.push(("+prediction", predicted.clone()));
-        let ir = Self { ir_expansion: true, ..predicted };
+        let ir = Self {
+            ir_expansion: true,
+            ..predicted
+        };
         ladder.push(("+IR-expansion", ir.clone()));
-        let repack = Self { repacking: true, ..ir };
+        let repack = Self {
+            repacking: true,
+            ..ir
+        };
         ladder.push(("+repacking", repack.clone()));
-        let half = Self { mcache_half_entries: true, ..repack };
+        let half = Self {
+            mcache_half_entries: true,
+            ..repack
+        };
         ladder.push(("+mcache-opt", half));
         ladder
     }

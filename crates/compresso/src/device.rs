@@ -1,8 +1,9 @@
 //! The memory-device abstraction and the uncompressed baseline.
 
-use crate::stats::DeviceStats;
+use crate::stats::{DeviceEvents, DeviceStats};
 use compresso_cache_sim::Backend;
 use compresso_mem_sim::{MainMemory, MemConfig, MemStats};
+use compresso_telemetry::Registry;
 
 /// A main-memory device: the uncompressed baseline, Compresso, or an LCP
 /// variant. All devices speak OSPA line addresses on the LLC side and
@@ -11,11 +12,16 @@ pub trait MemoryDevice: Backend {
     /// Device name for reports ("uncompressed", "Compresso", "LCP", …).
     fn device_name(&self) -> &'static str;
 
-    /// Compression/data-movement event counters.
-    fn device_stats(&self) -> &DeviceStats;
+    /// Snapshot of the compression/data-movement event counters.
+    fn device_stats(&self) -> DeviceStats;
 
-    /// DRAM-level counters (row hits, activations, …) for energy.
-    fn dram_stats(&self) -> &MemStats;
+    /// Snapshot of the DRAM-level counters (row hits, activations, …)
+    /// for energy.
+    fn dram_stats(&self) -> MemStats;
+
+    /// The metrics registry every subsystem of this device registers
+    /// into (device events, DRAM controller, metadata cache, …).
+    fn metrics(&self) -> &Registry;
 
     /// Current compression ratio: touched OSPA bytes over MPA bytes used
     /// (data + metadata). 1.0 for the uncompressed baseline.
@@ -33,7 +39,8 @@ pub trait MemoryDevice: Backend {
 #[derive(Debug)]
 pub struct UncompressedDevice {
     mem: MainMemory,
-    stats: DeviceStats,
+    stats: DeviceEvents,
+    registry: Registry,
     touched_pages: std::collections::HashSet<u64>,
 }
 
@@ -45,9 +52,15 @@ impl UncompressedDevice {
 
     /// Creates the baseline over an explicit DRAM configuration.
     pub fn with_config(config: MemConfig) -> Self {
+        let registry = Registry::new();
+        let stats = DeviceEvents::new();
+        let mem = MainMemory::new(config);
+        stats.register_metrics(&registry, "uncompressed");
+        mem.register_metrics(&registry, "dram");
         Self {
-            mem: MainMemory::new(config),
-            stats: DeviceStats::default(),
+            mem,
+            stats,
+            registry,
             touched_pages: std::collections::HashSet::new(),
         }
     }
@@ -80,12 +93,16 @@ impl MemoryDevice for UncompressedDevice {
         "uncompressed"
     }
 
-    fn device_stats(&self) -> &DeviceStats {
-        &self.stats
+    fn device_stats(&self) -> DeviceStats {
+        self.stats.snapshot()
     }
 
-    fn dram_stats(&self) -> &MemStats {
+    fn dram_stats(&self) -> MemStats {
         self.mem.stats()
+    }
+
+    fn metrics(&self) -> &Registry {
+        &self.registry
     }
 
     fn compression_ratio(&self) -> f64 {

@@ -47,7 +47,10 @@ impl std::fmt::Display for CompressoError {
         match self {
             CompressoError::OutOfMpaSpace => OutOfMpaSpace.fmt(f),
             CompressoError::UnsupportedAllocSize(bytes) => {
-                write!(f, "buddy allocator supports 512/1024/2048/4096 byte blocks, got {bytes}")
+                write!(
+                    f,
+                    "buddy allocator supports 512/1024/2048/4096 byte blocks, got {bytes}"
+                )
             }
             CompressoError::DecodeMetadata(e) => write!(f, "metadata decode failed: {e}"),
             CompressoError::CorruptMetadata { page } => {
@@ -58,7 +61,10 @@ impl std::fmt::Display for CompressoError {
                 write!(f, "line index {i} out of range (0..64)")
             }
             CompressoError::InvalidCacheGeometry { capacity_bytes } => {
-                write!(f, "metadata cache capacity {capacity_bytes} B yields no valid set count")
+                write!(
+                    f,
+                    "metadata cache capacity {capacity_bytes} B yields no valid set count"
+                )
             }
             CompressoError::UnencodableMetadata(why) => {
                 write!(f, "metadata entry cannot be packed: {why}")
@@ -94,11 +100,19 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        assert!(CompressoError::OutOfMpaSpace.to_string().contains("exhausted"));
-        assert!(CompressoError::UnsupportedAllocSize(1536).to_string().contains("1536"));
+        assert!(CompressoError::OutOfMpaSpace
+            .to_string()
+            .contains("exhausted"));
+        assert!(CompressoError::UnsupportedAllocSize(1536)
+            .to_string()
+            .contains("1536"));
         assert!(CompressoError::InvalidLineCode(4).to_string().contains('4'));
-        assert!(CompressoError::CorruptMetadata { page: 7 }.to_string().contains('7'));
-        assert!(CompressoError::LineIndexOutOfRange(64).to_string().contains("64"));
+        assert!(CompressoError::CorruptMetadata { page: 7 }
+            .to_string()
+            .contains('7'));
+        assert!(CompressoError::LineIndexOutOfRange(64)
+            .to_string()
+            .contains("64"));
     }
 
     #[test]
@@ -106,7 +120,10 @@ mod tests {
         let e: CompressoError = OutOfMpaSpace.into();
         assert_eq!(e, CompressoError::OutOfMpaSpace);
         let e: CompressoError = DecodeMetadataError::BadChunkCount(9).into();
-        assert_eq!(e, CompressoError::DecodeMetadata(DecodeMetadataError::BadChunkCount(9)));
+        assert_eq!(
+            e,
+            CompressoError::DecodeMetadata(DecodeMetadataError::BadChunkCount(9))
+        );
         use std::error::Error;
         assert!(e.source().is_some());
     }

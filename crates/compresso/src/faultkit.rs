@@ -133,7 +133,12 @@ impl FaultPlan {
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^= z >> 31;
-        Self { seed, cfg, state: z | 1, stats: FaultStats::default() }
+        Self {
+            seed,
+            cfg,
+            state: z | 1,
+            stats: FaultStats::default(),
+        }
     }
 
     /// A plan using the [`FaultConfig::aggressive`] preset.
@@ -246,7 +251,10 @@ mod tests {
         let same = (0..256)
             .filter(|_| a.metadata_fetch_fault() == b.metadata_fetch_fault())
             .count();
-        assert!(same < 256, "seeds 1 and 2 must not produce identical schedules");
+        assert!(
+            same < 256,
+            "seeds 1 and 2 must not produce identical schedules"
+        );
     }
 
     #[test]
@@ -262,7 +270,10 @@ mod tests {
         assert_eq!(s.distinct_kinds(), 5, "all five kinds must fire: {s:?}");
         assert_eq!(
             s.total(),
-            s.bit_flips + s.decode_failures + s.alloc_refusals + s.eviction_storms
+            s.bit_flips
+                + s.decode_failures
+                + s.alloc_refusals
+                + s.eviction_storms
                 + s.balloon_refusals
         );
     }
@@ -281,15 +292,24 @@ mod tests {
 
     #[test]
     fn rates_are_approximately_respected() {
-        let cfg = FaultConfig { alloc_failure_per_mille: 250, ..FaultConfig::default() };
+        let cfg = FaultConfig {
+            alloc_failure_per_mille: 250,
+            ..FaultConfig::default()
+        };
         let mut plan = FaultPlan::new(3, cfg);
         let refused = (0..10_000).filter(|_| plan.alloc_refused()).count();
-        assert!((2000..3000).contains(&refused), "≈25% expected, got {refused}/10000");
+        assert!(
+            (2000..3000).contains(&refused),
+            "≈25% expected, got {refused}/10000"
+        );
     }
 
     #[test]
     fn bit_flip_positions_cover_the_entry() {
-        let cfg = FaultConfig { bit_flip_per_mille: 1000, ..FaultConfig::default() };
+        let cfg = FaultConfig {
+            bit_flip_per_mille: 1000,
+            ..FaultConfig::default()
+        };
         let mut plan = FaultPlan::new(11, cfg);
         let mut low = false;
         let mut high = false;
@@ -300,6 +320,9 @@ mod tests {
                 high |= bit >= 256;
             }
         }
-        assert!(low && high, "flips must land across the whole 512-bit entry");
+        assert!(
+            low && high,
+            "flips must land across the whole 512-bit entry"
+        );
     }
 }

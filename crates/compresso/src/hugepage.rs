@@ -64,7 +64,11 @@ impl HugePageMap {
     /// region overlaps an existing huge page.
     pub fn register(&mut self, start: u64, size: OsPageSize) {
         assert_ne!(size, OsPageSize::Base, "base pages need no registration");
-        assert_eq!(start % size.base_pages(), 0, "huge page must be size-aligned");
+        assert_eq!(
+            start % size.base_pages(),
+            0,
+            "huge page must be size-aligned"
+        );
         for (&other, &other_size) in &self.regions {
             let (a0, a1) = (start, start + size.base_pages());
             let (b0, b1) = (other, other + other_size.base_pages());

@@ -52,7 +52,11 @@ impl LcpPlan {
 pub fn plan(sizes: &[usize], bins: &BinSet) -> LcpPlan {
     assert_eq!(sizes.len(), LINES_PER_PAGE, "a page has 64 lines");
     if sizes.iter().all(|&s| s == 0) {
-        return LcpPlan { target: 0, exceptions: Vec::new(), needed_bytes: 0 };
+        return LcpPlan {
+            target: 0,
+            exceptions: Vec::new(),
+            needed_bytes: 0,
+        };
     }
     let mut best: Option<LcpPlan> = None;
     for &t in bins.sizes().iter().skip(1) {
@@ -64,8 +68,15 @@ pub fn plan(sizes: &[usize], bins: &BinSet) -> LcpPlan {
             .map(|(i, _)| i as u8)
             .collect();
         let needed = t * LINES_PER_PAGE as u32 + 64 * exceptions.len() as u32;
-        let candidate = LcpPlan { target: t, exceptions, needed_bytes: needed };
-        if best.as_ref().is_none_or(|b| candidate.needed_bytes < b.needed_bytes) {
+        let candidate = LcpPlan {
+            target: t,
+            exceptions,
+            needed_bytes: needed,
+        };
+        if best
+            .as_ref()
+            .is_none_or(|b| candidate.needed_bytes < b.needed_bytes)
+        {
             best = Some(candidate);
         }
     }

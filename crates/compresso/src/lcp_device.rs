@@ -14,10 +14,11 @@ use crate::faultkit::{FaultPlan, FaultStats};
 use crate::lcp::{plan, LcpPlan};
 use crate::mcache::MetadataCache;
 use crate::metadata::{LINES_PER_PAGE, PAGE_BYTES};
-use crate::stats::DeviceStats;
+use crate::stats::{DeviceEvents, DeviceStats};
 use compresso_cache_sim::Backend;
 use compresso_compression::BinSet;
 use compresso_mem_sim::{MainMemory, MemConfig, MemStats};
+use compresso_telemetry::Registry;
 use compresso_workloads::LineSource;
 use std::collections::{HashMap, VecDeque};
 
@@ -49,7 +50,8 @@ pub struct LcpDevice {
     pages: HashMap<u64, LcpMeta>,
     size_cache: HashMap<(u64, u64), u8>,
     prefetch: VecDeque<(u64, u32)>,
-    stats: DeviceStats,
+    stats: DeviceEvents,
+    registry: Registry,
     codec_latency: u64,
     mcache_hit_latency: u64,
     faults: Option<FaultPlan>,
@@ -78,7 +80,7 @@ impl LcpDevice {
     }
 
     fn build(name: &'static str, bins: BinSet, world: impl LineSource + 'static) -> Self {
-        Self {
+        let device = Self {
             name,
             bins,
             codec: Codec::bpc(),
@@ -89,11 +91,17 @@ impl LcpDevice {
             pages: HashMap::new(),
             size_cache: HashMap::new(),
             prefetch: VecDeque::new(),
-            stats: DeviceStats::default(),
+            stats: DeviceEvents::new(),
+            registry: Registry::new(),
             codec_latency: 12,
             mcache_hit_latency: 2,
             faults: None,
-        }
+        };
+        device.stats.register_metrics(&device.registry, "lcp");
+        device.mem.register_metrics(&device.registry, "dram");
+        device.mcache.register_metrics(&device.registry, "mcache");
+        device.alloc.register_metrics(&device.registry, "alloc");
+        device
     }
 
     /// Attaches a deterministic fault-injection plan (`None` by default;
@@ -178,7 +186,16 @@ impl LcpDevice {
                 }
             }
         };
-        self.pages.insert(page, LcpMeta { plan, page_bytes, base, zero_lines, all_zero });
+        self.pages.insert(
+            page,
+            LcpMeta {
+                plan,
+                page_bytes,
+                base,
+                zero_lines,
+                all_zero,
+            },
+        );
     }
 
     fn metadata_addr(page: u64) -> u64 {
@@ -237,7 +254,11 @@ impl LcpDevice {
         let mut t = now;
         for i in 0..moves {
             let addr = page * PAGE_BYTES as u64 + (i as u64 % 64) * 64;
-            let r = if i % 2 == 0 { self.mem.read(t, addr) } else { self.mem.write(t, addr) };
+            let r = if i % 2 == 0 {
+                self.mem.read(t, addr)
+            } else {
+                self.mem.write(t, addr)
+            };
             t = t.max(r.complete_at);
         }
         if fault {
@@ -267,7 +288,12 @@ impl LcpDevice {
     /// entry is detected and recovered by re-planning the page through
     /// the page-fault path.
     fn maybe_corrupt_metadata(&mut self, now: u64, page: u64) -> u64 {
-        if self.faults.as_mut().and_then(|f| f.metadata_fetch_fault()).is_none() {
+        if self
+            .faults
+            .as_mut()
+            .and_then(|f| f.metadata_fetch_fault())
+            .is_none()
+        {
             return now;
         }
         self.stats.injected_faults += 1;
@@ -449,7 +475,11 @@ impl Backend for LcpDevice {
         if is_exception || new_size as u32 <= target {
             let (offset, size) = meta.plan.offset_of(line).expect("nonzero target");
             let base = meta.base;
-            let write_size = if is_exception { 64 } else { size.min(new_size as u32).max(1) };
+            let write_size = if is_exception {
+                64
+            } else {
+                size.min(new_size as u32).max(1)
+            };
             for (i, &addr) in Self::bursts(base, offset, write_size).iter().enumerate() {
                 self.mem.write(t, addr);
                 if i == 0 {
@@ -510,12 +540,16 @@ impl MemoryDevice for LcpDevice {
         self.name
     }
 
-    fn device_stats(&self) -> &DeviceStats {
-        &self.stats
+    fn device_stats(&self) -> DeviceStats {
+        self.stats.snapshot()
     }
 
-    fn dram_stats(&self) -> &MemStats {
+    fn dram_stats(&self) -> MemStats {
         self.mem.stats()
+    }
+
+    fn metrics(&self) -> &Registry {
+        &self.registry
     }
 
     fn compression_ratio(&self) -> f64 {

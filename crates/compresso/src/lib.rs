@@ -65,7 +65,9 @@ pub use lcp::{plan as lcp_plan, LcpPlan};
 pub use lcp_device::{LcpDevice, OS_PAGE_FAULT_CYCLES};
 pub use mcache::{McAccess, McStats, MetadataCache};
 pub use metadata::{LineLocation, PageMeta, CHUNK_BYTES, LINES_PER_PAGE, PAGE_BYTES};
-pub use metadata_codec::{decode as decode_metadata, encode as encode_metadata, DecodeMetadataError};
+pub use metadata_codec::{
+    decode as decode_metadata, encode as encode_metadata, DecodeMetadataError,
+};
 pub use offset_circuit::{linepack_offset_unit, CircuitEstimate};
 pub use predictor::OverflowPredictor;
-pub use stats::DeviceStats;
+pub use stats::{DeviceEvents, DeviceStats};

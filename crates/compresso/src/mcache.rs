@@ -9,6 +9,7 @@
 //! Pagerank, Graph500 in Fig. 6).
 
 use crate::error::CompressoError;
+use compresso_telemetry::{Counter, Registry};
 
 /// Result of a metadata-cache access.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,6 +41,14 @@ pub struct McStats {
     pub evictions: u64,
 }
 
+/// Live counter handles behind [`McStats`].
+#[derive(Debug, Clone, Default)]
+struct McEvents {
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+}
+
 /// A set-associative metadata cache with byte-budgeted sets.
 #[derive(Debug, Clone)]
 pub struct MetadataCache {
@@ -47,7 +56,7 @@ pub struct MetadataCache {
     set_budget: u32,
     half_entries: bool,
     stamp: u64,
-    stats: McStats,
+    stats: McEvents,
 }
 
 impl MetadataCache {
@@ -69,7 +78,7 @@ impl MetadataCache {
             set_budget,
             half_entries,
             stamp: 0,
-            stats: McStats::default(),
+            stats: McEvents::default(),
         })
     }
 
@@ -83,13 +92,25 @@ impl MetadataCache {
             set_budget: 8 * 64,
             half_entries,
             stamp: 0,
-            stats: McStats::default(),
+            stats: McEvents::default(),
         }
     }
 
-    /// Statistics so far.
-    pub fn stats(&self) -> &McStats {
-        &self.stats
+    /// Snapshot of the statistics so far.
+    pub fn stats(&self) -> McStats {
+        McStats {
+            hits: self.stats.hits.get(),
+            misses: self.stats.misses.get(),
+            evictions: self.stats.evictions.get(),
+        }
+    }
+
+    /// Registers hit/miss/eviction counters under `prefix`
+    /// (e.g. `mcache` -> `mcache.eviction.total`).
+    pub fn register_metrics(&self, registry: &Registry, prefix: &str) {
+        registry.register_counter(&format!("{prefix}.hit.total"), &self.stats.hits);
+        registry.register_counter(&format!("{prefix}.miss.total"), &self.stats.misses);
+        registry.register_counter(&format!("{prefix}.eviction.total"), &self.stats.evictions);
     }
 
     /// Whether `page`'s entry is currently cached (no state change).
@@ -126,7 +147,10 @@ impl MetadataCache {
             // uncompressed); adopt the new footprint.
             slot.bytes = bytes;
             self.stats.hits += 1;
-            return McAccess { hit: true, evicted: Vec::new() };
+            return McAccess {
+                hit: true,
+                evicted: Vec::new(),
+            };
         }
 
         self.stats.misses += 1;
@@ -144,8 +168,16 @@ impl MetadataCache {
             evicted.push((victim.page, victim.dirty));
             self.stats.evictions += 1;
         }
-        set.push(Slot { page, bytes, dirty, used: stamp });
-        McAccess { hit: false, evicted }
+        set.push(Slot {
+            page,
+            bytes,
+            dirty,
+            used: stamp,
+        });
+        McAccess {
+            hit: false,
+            evicted,
+        }
     }
 
     /// Forcibly evicts up to `n` entries, least recently used first,
@@ -198,7 +230,9 @@ mod tests {
     fn bad_geometry_is_a_typed_error() {
         assert!(matches!(
             MetadataCache::new(3 * 8 * 64, false),
-            Err(CompressoError::InvalidCacheGeometry { capacity_bytes: 1536 })
+            Err(CompressoError::InvalidCacheGeometry {
+                capacity_bytes: 1536
+            })
         ));
         assert!(matches!(
             MetadataCache::new(0, false),
@@ -304,7 +338,11 @@ mod tests {
             mc.access(i, false, false);
         }
         assert!(mc.len() <= 1536);
-        assert!(mc.len() >= 1400, "most sets should be full, got {}", mc.len());
+        assert!(
+            mc.len() >= 1400,
+            "most sets should be full, got {}",
+            mc.len()
+        );
     }
 
     #[test]

@@ -79,7 +79,11 @@ impl PageMeta {
 
     /// A valid all-zero page (the state of a freshly touched page).
     pub fn zero_page() -> Self {
-        Self { valid: true, zero: true, ..Self::invalid() }
+        Self {
+            valid: true,
+            zero: true,
+            ..Self::invalid()
+        }
     }
 
     /// Bytes of the data region (sum of binned line sizes).
@@ -87,7 +91,10 @@ impl PageMeta {
         if !self.compressed {
             return PAGE_BYTES;
         }
-        self.line_bins.iter().map(|&b| bins.bin(b).bytes as u32).sum()
+        self.line_bins
+            .iter()
+            .map(|&b| bins.bin(b).bytes as u32)
+            .sum()
     }
 
     /// Bytes actually used: data region plus 64 B per inflated line.
@@ -123,7 +130,10 @@ impl PageMeta {
             return LineLocation::Zero;
         }
         if !self.compressed {
-            return LineLocation::Packed { offset: line as u32 * 64, size: 64 };
+            return LineLocation::Packed {
+                offset: line as u32 * 64,
+                size: 64,
+            };
         }
         if let Some(pos) = self.inflated.iter().position(|&l| l as usize == line) {
             let offset = self.page_bytes - 64 * (pos as u32 + 1);
@@ -201,23 +211,51 @@ mod tests {
             page_bytes: 4096,
             ..PageMeta::invalid()
         };
-        assert_eq!(p.locate(5, &bins), LineLocation::Packed { offset: 320, size: 64 });
+        assert_eq!(
+            p.locate(5, &bins),
+            LineLocation::Packed {
+                offset: 320,
+                size: 64
+            }
+        );
         assert_eq!(p.data_bytes(&bins), 4096);
     }
 
     #[test]
     fn packed_offsets_group_by_descending_bin() {
         let bins = BinSet::aligned4();
-        let mut p = PageMeta { valid: true, page_bytes: 1024, ..PageMeta::invalid() };
+        let mut p = PageMeta {
+            valid: true,
+            page_bytes: 1024,
+            ..PageMeta::invalid()
+        };
         // bins: index 1 = 8B, index 2 = 32B.
         p.line_bins[0] = 1; // 8
         p.line_bins[1] = 2; // 32 — largest group comes first
         p.line_bins[2] = 0; // zero line
         p.line_bins[3] = 1; // 8
-        assert_eq!(p.locate(1, &bins), LineLocation::Packed { offset: 0, size: 32 });
-        assert_eq!(p.locate(0, &bins), LineLocation::Packed { offset: 32, size: 8 });
+        assert_eq!(
+            p.locate(1, &bins),
+            LineLocation::Packed {
+                offset: 0,
+                size: 32
+            }
+        );
+        assert_eq!(
+            p.locate(0, &bins),
+            LineLocation::Packed {
+                offset: 32,
+                size: 8
+            }
+        );
         assert_eq!(p.locate(2, &bins), LineLocation::Zero);
-        assert_eq!(p.locate(3, &bins), LineLocation::Packed { offset: 40, size: 8 });
+        assert_eq!(
+            p.locate(3, &bins),
+            LineLocation::Packed {
+                offset: 40,
+                size: 8
+            }
+        );
         assert_eq!(p.data_bytes(&bins), 48);
     }
 
@@ -226,7 +264,11 @@ mod tests {
         // §IV-B1: with sizes {8, 32, 64} and grouped packing, no packed
         // line straddles a 64 B boundary.
         let bins = BinSet::aligned4();
-        let mut p = PageMeta { valid: true, page_bytes: 4096, ..PageMeta::invalid() };
+        let mut p = PageMeta {
+            valid: true,
+            page_bytes: 4096,
+            ..PageMeta::invalid()
+        };
         for (i, bin) in p.line_bins.iter_mut().enumerate() {
             *bin = match i % 4 {
                 0 => 3, // 64
@@ -259,11 +301,21 @@ mod tests {
     #[test]
     fn inflated_lines_sit_at_page_end() {
         let bins = BinSet::aligned4();
-        let mut p = PageMeta { valid: true, page_bytes: 1024, ..PageMeta::invalid() };
+        let mut p = PageMeta {
+            valid: true,
+            page_bytes: 1024,
+            ..PageMeta::invalid()
+        };
         p.line_bins[7] = 1;
         p.inflated = vec![7, 9];
-        assert_eq!(p.locate(7, &bins), LineLocation::Inflated { offset: 1024 - 64 });
-        assert_eq!(p.locate(9, &bins), LineLocation::Inflated { offset: 1024 - 128 });
+        assert_eq!(
+            p.locate(7, &bins),
+            LineLocation::Inflated { offset: 1024 - 64 }
+        );
+        assert_eq!(
+            p.locate(9, &bins),
+            LineLocation::Inflated { offset: 1024 - 128 }
+        );
         assert!(p.is_inflated(7));
         assert!(!p.is_inflated(8));
         // Inflated lines cost 64 B each in used_bytes.
@@ -273,7 +325,11 @@ mod tests {
     #[test]
     fn free_space_tracking() {
         let bins = BinSet::aligned4();
-        let mut p = PageMeta { valid: true, page_bytes: 512, ..PageMeta::invalid() };
+        let mut p = PageMeta {
+            valid: true,
+            page_bytes: 512,
+            ..PageMeta::invalid()
+        };
         for i in 0..8 {
             p.line_bins[i] = 2; // 8 lines * 32B = 256B
         }

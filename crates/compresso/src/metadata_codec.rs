@@ -62,15 +62,21 @@ impl std::error::Error for DecodeMetadataError {}
 /// runs must not abort on it.
 pub fn try_encode(meta: &PageMeta, bins: &BinSet) -> Result<[u8; PACKED_BYTES], CompressoError> {
     if meta.chunks.len() > 8 {
-        return Err(CompressoError::UnencodableMetadata("more than 8 chunks per page"));
+        return Err(CompressoError::UnencodableMetadata(
+            "more than 8 chunks per page",
+        ));
     }
     if meta.inflated.len() > 17 {
-        return Err(CompressoError::UnencodableMetadata("more than 17 inflation pointers"));
+        return Err(CompressoError::UnencodableMetadata(
+            "more than 17 inflation pointers",
+        ));
     }
     // Validate line codes before `free_bytes` indexes the bin set.
     for &code in meta.line_bins.iter() {
         if (code as usize) >= bins.len() {
-            return Err(CompressoError::UnencodableMetadata("line code outside the bin set"));
+            return Err(CompressoError::UnencodableMetadata(
+                "line code outside the bin set",
+            ));
         }
     }
     let mut w = BitWriter::new();

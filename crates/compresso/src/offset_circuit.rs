@@ -127,7 +127,11 @@ mod tests {
         // exceeds one cycle's ~30 delays but fits in two (hence the
         // 1-cycle overhead after overlapping with the metadata lookup).
         assert!(est.gate_delays > CYCLE_GATE_DELAY_BUDGET);
-        assert!(est.gate_delays <= 45, "delays near the paper's 38: {}", est.gate_delays);
+        assert!(
+            est.gate_delays <= 45,
+            "delays near the paper's 38: {}",
+            est.gate_delays
+        );
     }
 
     #[test]
@@ -178,7 +182,10 @@ mod tests {
         assert_eq!(offset_of(&codes, 0), Ok(96));
         assert_eq!(offset_of(&codes, 3), Ok(96 + 8));
         // Out-of-range line index.
-        assert_eq!(offset_of(&codes, 64), Err(CompressoError::LineIndexOutOfRange(64)));
+        assert_eq!(
+            offset_of(&codes, 64),
+            Err(CompressoError::LineIndexOutOfRange(64))
+        );
         assert_eq!(
             offset_of(&codes, usize::MAX),
             Err(CompressoError::LineIndexOutOfRange(usize::MAX))
@@ -199,10 +206,19 @@ mod tests {
         let mut codes = [0u8; 64];
         codes[1] = 4;
         // The bad code errors whether it is the indexed line...
-        assert_eq!(offset_of(&codes, 1), Err(CompressoError::InvalidLineCode(4)));
+        assert_eq!(
+            offset_of(&codes, 1),
+            Err(CompressoError::InvalidLineCode(4))
+        );
         // ...or any other input to the adder tree.
-        assert_eq!(offset_of(&codes, 0), Err(CompressoError::InvalidLineCode(4)));
+        assert_eq!(
+            offset_of(&codes, 0),
+            Err(CompressoError::InvalidLineCode(4))
+        );
         codes[1] = 255;
-        assert_eq!(offset_of(&codes, 5), Err(CompressoError::InvalidLineCode(255)));
+        assert_eq!(
+            offset_of(&codes, 5),
+            Err(CompressoError::InvalidLineCode(255))
+        );
     }
 }

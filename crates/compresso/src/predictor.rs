@@ -7,6 +7,7 @@
 //! speculatively stored uncompressed (grown to 4 KB) to avoid repeated
 //! overflow data movement.
 
+use compresso_telemetry::{Gauge, Registry};
 use std::collections::HashMap;
 
 /// 2-bit saturating counter.
@@ -43,6 +44,10 @@ pub struct OverflowPredictor {
     local: HashMap<u64, Counter2>,
     /// 3-bit global counter (0–7).
     global: u8,
+    /// Telemetry mirror of `global` (0–7).
+    global_gauge: Gauge,
+    /// Telemetry mirror of the tracked-page count.
+    tracked_gauge: Gauge,
 }
 
 impl OverflowPredictor {
@@ -54,21 +59,25 @@ impl OverflowPredictor {
     /// A writeback to `page` caused a cache-line overflow.
     pub fn line_overflow(&mut self, page: u64) {
         self.local.entry(page).or_default().up();
+        self.tracked_gauge.set(self.local.len() as i64);
     }
 
     /// A writeback to `page` caused a cache-line underflow.
     pub fn line_underflow(&mut self, page: u64) {
         self.local.entry(page).or_default().down();
+        self.tracked_gauge.set(self.local.len() as i64);
     }
 
     /// A page overflow occurred somewhere in the system.
     pub fn page_overflow(&mut self) {
         self.global = (self.global + 1).min(7);
+        self.global_gauge.set(self.global as i64);
     }
 
     /// A quiet period (e.g. a page underflow / successful repack).
     pub fn page_calm(&mut self) {
         self.global = self.global.saturating_sub(1);
+        self.global_gauge.set(self.global as i64);
     }
 
     /// Should `page` be speculatively stored uncompressed?
@@ -81,6 +90,14 @@ impl OverflowPredictor {
     /// disappears with it.
     pub fn on_mcache_eviction(&mut self, page: u64) {
         self.local.remove(&page);
+        self.tracked_gauge.set(self.local.len() as i64);
+    }
+
+    /// Registers the predictor's levels under `prefix`
+    /// (`{prefix}.global_level`, `{prefix}.tracked_pages`).
+    pub fn register_metrics(&self, registry: &Registry, prefix: &str) {
+        registry.register_gauge(&format!("{prefix}.global_level"), &self.global_gauge);
+        registry.register_gauge(&format!("{prefix}.tracked_pages"), &self.tracked_gauge);
     }
 
     /// Current global counter value (0–7).

@@ -5,6 +5,76 @@
 //! system would: split-access line reads, overflow handling (line/page
 //! overflows, inflation-room traffic, repacking), and metadata accesses.
 
+use compresso_telemetry::{Counter, Registry};
+
+/// Declares the live-counter twin of [`DeviceStats`]: same field names
+/// (so `events.field += 1` call sites look identical to the old plain
+/// struct), plus snapshot/reset/register derived from one field list.
+macro_rules! device_events {
+    ($( $field:ident => $name:literal ),+ $(,)?) => {
+        /// Live counter handles behind [`DeviceStats`]. Devices mutate
+        /// these on the hot path; a [`Registry`] holds clones of the
+        /// same handles, so snapshots and epoch series observe every
+        /// update without the device knowing about observers.
+        #[derive(Debug, Clone, Default)]
+        pub struct DeviceEvents {
+            $( pub $field: Counter, )+
+        }
+
+        impl DeviceEvents {
+            pub fn new() -> Self {
+                Self::default()
+            }
+
+            /// Plain-data copy of every counter (the classic
+            /// [`DeviceStats`] view).
+            pub fn snapshot(&self) -> DeviceStats {
+                DeviceStats { $( $field: self.$field.get(), )+ }
+            }
+
+            pub fn reset(&self) {
+                $( self.$field.reset(); )+
+            }
+
+            /// Registers every counter under `prefix` using the
+            /// paper-event names documented in DESIGN.md §9
+            /// (e.g. prefix `compresso` → `compresso.page_overflow.total`).
+            pub fn register_metrics(&self, registry: &Registry, prefix: &str) {
+                $( registry.register_counter(&format!("{prefix}.{}", $name), &self.$field); )+
+            }
+        }
+    };
+}
+
+device_events! {
+    demand_fills => "demand_fill.total",
+    demand_writebacks => "demand_writeback.total",
+    data_accesses => "data_access.total",
+    split_access_extra => "split_access_extra.total",
+    overflow_extra => "overflow_extra.total",
+    repack_extra => "repack_extra.total",
+    metadata_accesses => "metadata_access.total",
+    mcache_hits => "mcache.hit.total",
+    mcache_misses => "mcache.miss.total",
+    line_overflows => "line_overflow.total",
+    line_underflows => "line_underflow.total",
+    page_overflows => "page_overflow.total",
+    ir_expansions => "inflation_room.expansion.total",
+    ir_placements => "inflation_room.placement.total",
+    repacks => "repack.total",
+    predictor_inflations => "predictor.inflation.total",
+    zero_fills => "zero_fill.total",
+    zero_writebacks => "zero_writeback.total",
+    prefetch_hits => "prefetch_hit.total",
+    injected_faults => "fault.injected.total",
+    corruption_fallbacks => "fault.corruption_fallback.total",
+    fault_extra => "fault.extra_access.total",
+    eviction_storms => "fault.eviction_storm.total",
+    alloc_retries => "alloc.retry.total",
+    alloc_failures => "alloc.failure.total",
+    balloon_retries => "balloon.retry.total",
+}
+
 /// Counters shared by all [`crate::MemoryDevice`] implementations.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DeviceStats {
@@ -172,8 +242,34 @@ mod tests {
     }
 
     #[test]
+    fn events_snapshot_and_registry_agree() {
+        let mut ev = DeviceEvents::new();
+        ev.page_overflows += 3;
+        ev.repacks += 1;
+        let reg = Registry::new();
+        ev.register_metrics(&reg, "compresso");
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("compresso.page_overflow.total"), Some(3));
+        assert_eq!(snap.counter("compresso.repack.total"), Some(1));
+        let stats = ev.snapshot();
+        assert_eq!(stats.page_overflows, 3);
+        assert_eq!(stats.repacks, 1);
+        ev.reset();
+        assert_eq!(ev.snapshot(), DeviceStats::default());
+        // The registry sees the reset through the shared handles.
+        assert_eq!(
+            reg.snapshot().counter("compresso.page_overflow.total"),
+            Some(0)
+        );
+    }
+
+    #[test]
     fn mcache_hit_rate_math() {
-        let s = DeviceStats { mcache_hits: 75, mcache_misses: 25, ..Default::default() };
+        let s = DeviceStats {
+            mcache_hits: 75,
+            mcache_misses: 25,
+            ..Default::default()
+        };
         assert!((s.mcache_hit_rate() - 0.75).abs() < 1e-9);
     }
 }

@@ -3,8 +3,7 @@
 
 use compresso_cache_sim::Backend;
 use compresso_core::{
-    CompressoConfig, CompressoDevice, LcpDevice, MemoryDevice, PageAllocation,
-    UncompressedDevice,
+    CompressoConfig, CompressoDevice, LcpDevice, MemoryDevice, PageAllocation, UncompressedDevice,
 };
 use compresso_workloads::{benchmark, DataWorld, Evolution, PAGE_BYTES};
 
@@ -42,7 +41,10 @@ fn compresso_barely_compresses_mcf() {
     drive(&mut d, 200, false);
     let ratio = d.compression_ratio();
     assert!(ratio < 1.6, "mcf is nearly incompressible, got {ratio:.2}");
-    assert!(ratio >= 0.95, "ratio cannot collapse below ~1, got {ratio:.2}");
+    assert!(
+        ratio >= 0.95,
+        "ratio cannot collapse below ~1, got {ratio:.2}"
+    );
 }
 
 #[test]
@@ -129,7 +131,10 @@ fn unoptimized_config_moves_more_data_than_compresso() {
     // Split accesses in particular must collapse with aligned bins.
     let (split_base, _, _) = base.device_stats().extra_breakdown();
     let (split_opt, _, _) = opt.device_stats().extra_breakdown();
-    assert!(split_opt < split_base, "aligned bins must cut splits: {split_opt:.3} vs {split_base:.3}");
+    assert!(
+        split_opt < split_base,
+        "aligned bins must cut splits: {split_opt:.3} vs {split_base:.3}"
+    );
 }
 
 #[test]
@@ -162,7 +167,9 @@ fn repacking_recovers_compression_after_underflows() {
         // Thrash the metadata cache to force evictions (the repack
         // trigger).
         for page in 10_000..12_000u64 {
-            t = d.fill(t, (page % profile.footprint_pages as u64) * PAGE_BYTES).max(t);
+            t = d
+                .fill(t, (page % profile.footprint_pages as u64) * PAGE_BYTES)
+                .max(t);
         }
         (d.compression_ratio(), d.device_stats().repacks)
     };
@@ -188,8 +195,7 @@ fn lcp_page_overflows_incur_page_fault_latency() {
         .find(|&p| {
             let mostly_small = (0..64u64)
                 .filter(|&l| {
-                    w.class_of(p * PAGE_BYTES + l * 64)
-                        == compresso_workloads::DataClass::SmallInt
+                    w.class_of(p * PAGE_BYTES + l * 64) == compresso_workloads::DataClass::SmallInt
                 })
                 .count()
                 >= 40;
@@ -206,7 +212,10 @@ fn lcp_page_overflows_incur_page_fault_latency() {
         }
     }
     let s = d.device_stats();
-    assert!(s.page_overflows > 0, "LCP must see page overflows here: {s:?}");
+    assert!(
+        s.page_overflows > 0,
+        "LCP must see page overflows here: {s:?}"
+    );
 }
 
 #[test]
@@ -214,7 +223,7 @@ fn devices_are_deterministic() {
     let run = || {
         let mut d = CompressoDevice::new(CompressoConfig::compresso(), world("astar"));
         let t = drive(&mut d, 150, true);
-        (t, *d.device_stats(), d.compression_ratio().to_bits())
+        (t, d.device_stats(), d.compression_ratio().to_bits())
     };
     assert_eq!(run(), run());
 }
@@ -238,7 +247,10 @@ fn ballooning_invalidation_releases_space() {
         d.invalidate_page(page);
     }
     let after = d.mpa_used_bytes();
-    assert!(after < before, "invalidation must free MPA space: {before} -> {after}");
+    assert!(
+        after < before,
+        "invalidation must free MPA space: {before} -> {after}"
+    );
 }
 
 #[test]

@@ -5,8 +5,8 @@
 
 use compresso_cache_sim::Backend;
 use compresso_core::{
-    CompressoConfig, CompressoDevice, DeviceStats, FaultPlan, FaultStats, LcpDevice,
-    MemoryDevice, PageAllocation,
+    CompressoConfig, CompressoDevice, DeviceStats, FaultPlan, FaultStats, LcpDevice, MemoryDevice,
+    PageAllocation,
 };
 use compresso_workloads::{benchmark, DataWorld, PAGE_BYTES};
 use proptest::prelude::*;
@@ -39,8 +39,14 @@ fn compresso_configs() -> Vec<(&'static str, CompressoConfig)> {
     vec![
         ("compresso", CompressoConfig::compresso()),
         ("compresso-variable4", variable),
-        ("unoptimized-chunks", CompressoConfig::unoptimized(PageAllocation::Chunks512)),
-        ("unoptimized-variable4", CompressoConfig::unoptimized(PageAllocation::Variable4)),
+        (
+            "unoptimized-chunks",
+            CompressoConfig::unoptimized(PageAllocation::Chunks512),
+        ),
+        (
+            "unoptimized-variable4",
+            CompressoConfig::unoptimized(PageAllocation::Variable4),
+        ),
     ]
 }
 
@@ -48,14 +54,18 @@ fn run_compresso(cfg: CompressoConfig, seed: u64, bench: &str) -> (DeviceStats, 
     let mut d = CompressoDevice::new(cfg, world(bench));
     d.inject_faults(FaultPlan::aggressive(seed));
     drive_chaos(&mut d, 48, 3);
-    (*d.device_stats(), *d.fault_stats().expect("plan attached"))
+    (d.device_stats(), *d.fault_stats().expect("plan attached"))
 }
 
 fn run_lcp(align: bool, seed: u64, bench: &str) -> (DeviceStats, FaultStats) {
-    let mut d = if align { LcpDevice::lcp_align(world(bench)) } else { LcpDevice::lcp(world(bench)) };
+    let mut d = if align {
+        LcpDevice::lcp_align(world(bench))
+    } else {
+        LcpDevice::lcp(world(bench))
+    };
     d.inject_faults(FaultPlan::aggressive(seed));
     drive_chaos(&mut d, 48, 3);
-    (*d.device_stats(), *d.fault_stats().expect("plan attached"))
+    (d.device_stats(), *d.fault_stats().expect("plan attached"))
 }
 
 /// Every injected fault the plan drew must be acknowledged by the device,
@@ -72,14 +82,19 @@ fn assert_consistent(label: &str, dev: &DeviceStats, faults: &FaultStats) {
         dev.corruption_fallbacks <= faults.bit_flips + faults.decode_failures,
         "{label}: fallbacks cannot exceed metadata faults"
     );
-    assert_eq!(dev.eviction_storms, faults.eviction_storms, "{label}: storm counters agree");
+    assert_eq!(
+        dev.eviction_storms, faults.eviction_storms,
+        "{label}: storm counters agree"
+    );
     assert!(
         dev.alloc_retries + dev.alloc_failures <= faults.alloc_refusals,
         "{label}: retries+failures cannot exceed refusals"
     );
     if dev.corruption_fallbacks > 0 {
-        assert!(dev.fault_extra > 0 || dev.corruption_fallbacks <= dev.injected_faults,
-            "{label}: fallbacks either move data or are metadata-only");
+        assert!(
+            dev.fault_extra > 0 || dev.corruption_fallbacks <= dev.injected_faults,
+            "{label}: fallbacks either move data or are metadata-only"
+        );
     }
     assert!(
         dev.total_accesses() >= dev.data_accesses + dev.fault_extra,
@@ -96,7 +111,10 @@ fn compresso_survives_aggressive_faults_in_every_configuration() {
             "{label}: want >=4 distinct fault kinds, got {} ({faults:?})",
             faults.distinct_kinds()
         );
-        assert!(dev.corruption_fallbacks > 0, "{label}: corruption must surface ({dev:?})");
+        assert!(
+            dev.corruption_fallbacks > 0,
+            "{label}: corruption must surface ({dev:?})"
+        );
         assert!(dev.eviction_storms > 0, "{label}: storms must surface");
         assert_consistent(label, &dev, &faults);
     }
@@ -111,7 +129,10 @@ fn lcp_survives_aggressive_faults() {
             "{label}: want >=4 distinct fault kinds, got {} ({faults:?})",
             faults.distinct_kinds()
         );
-        assert!(dev.corruption_fallbacks > 0, "{label}: corruption must surface");
+        assert!(
+            dev.corruption_fallbacks > 0,
+            "{label}: corruption must surface"
+        );
         assert_consistent(label, &dev, &faults);
     }
 }
@@ -142,7 +163,10 @@ fn faulted_device_still_compresses() {
     d.inject_faults(FaultPlan::aggressive(7));
     drive_chaos(&mut d, 64, 2);
     let ratio = d.compression_ratio();
-    assert!(ratio > 1.0, "zeusmp keeps compressing under faults, got {ratio:.2}");
+    assert!(
+        ratio > 1.0,
+        "zeusmp keeps compressing under faults, got {ratio:.2}"
+    );
     assert!(d.device_stats().corruption_fallbacks > 0);
 }
 
@@ -157,14 +181,14 @@ proptest! {
         let mut d = CompressoDevice::new(cfg, world("mcf"));
         d.inject_faults(FaultPlan::aggressive(seed));
         drive_chaos(&mut d, 24, 2);
-        let dev = *d.device_stats();
+        let dev = d.device_stats();
         let faults = *d.fault_stats().expect("plan attached");
         assert_consistent(label, &dev, &faults);
 
         let mut l = if lcp_align { LcpDevice::lcp_align(world("mcf")) } else { LcpDevice::lcp(world("mcf")) };
         l.inject_faults(FaultPlan::aggressive(seed));
         drive_chaos(&mut l, 24, 2);
-        let dev = *l.device_stats();
+        let dev = l.device_stats();
         let faults = *l.fault_stats().expect("plan attached");
         assert_consistent("lcp", &dev, &faults);
     }

@@ -98,7 +98,9 @@ pub fn evaluate(
         .demand_fills
         .saturating_sub(device.zero_fills)
         .saturating_sub(device.prefetch_hits) as f64
-        + device.demand_writebacks.saturating_sub(device.zero_writebacks) as f64;
+        + device
+            .demand_writebacks
+            .saturating_sub(device.zero_writebacks) as f64;
     let bpc = codec_events.max(0.0) * params.bpc_power_w * params.codec_seconds * 1e9;
     let mcache = (device.mcache_hits + device.mcache_misses) as f64 * params.mcache_access_nj;
     EnergyBreakdown {
@@ -113,7 +115,12 @@ mod tests {
     use super::*;
 
     fn stats(reads: u64, writes: u64, acts: u64) -> MemStats {
-        MemStats { reads, writes, activations: acts, ..Default::default() }
+        MemStats {
+            reads,
+            writes,
+            activations: acts,
+            ..Default::default()
+        }
     }
 
     #[test]

@@ -3,11 +3,15 @@
 
 use compresso_cache_sim::Backend;
 use compresso_core::{CompressoConfig, CompressoDevice, MemoryDevice};
-use compresso_exp::params_banner;
+use compresso_exp::{params_banner, MetricsArgs};
 use compresso_oskit::{BalloonDriver, OsMemory};
+use compresso_telemetry::{EpochRecorder, MetricsReport};
 use compresso_workloads::{benchmark, DataWorld, PAGE_BYTES};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let margs = MetricsArgs::from_args(&args);
+    let start = std::time::Instant::now();
     println!("{}\n", params_banner());
     // A tiny MPA (18 MB) promised as 48 MB of OSPA: an incompressible
     // benchmark will blow through it without ballooning.
@@ -20,14 +24,20 @@ fn main() {
     // The whole promised space is allocated to the process; the
     // already-streamed half has gone cold behind the write front — that
     // is what the OS pages out when the balloon inflates.
-    let all = os.allocate(promised_pages as usize).expect("whole address space");
+    let all = os
+        .allocate(promised_pages as usize)
+        .expect("whole address space");
     os.mark_cold(&all[..promised_pages as usize / 2]);
     let mut balloon = BalloonDriver::new(0.60, 0.85, 256);
+    let registry = device.metrics().clone();
+    balloon.register_metrics(&registry, "balloon");
+    let mut recorder = EpochRecorder::new(registry.clone(), margs.epoch_len());
 
     println!("S V-B ballooning demo: streaming incompressible mcf pages into an 18MB MPA\n");
     let mut t = 0u64;
     for page in 0..promised_pages / 2 {
         for line in 0..64u64 {
+            recorder.observe(t);
             t = device.fill(t, page * PAGE_BYTES + line * 64).max(t);
         }
         if page % 256 == 0 {
@@ -40,6 +50,20 @@ fn main() {
             );
         }
     }
-    println!("\nfinal pressure {:.1}%, balloon holds {} pages — no OS modification required",
-        device.mpa_pressure() * 100.0, balloon.stats().held_pages);
+    println!(
+        "\nfinal pressure {:.1}%, balloon holds {} pages — no OS modification required",
+        device.mpa_pressure() * 100.0,
+        balloon.stats().held_pages
+    );
+
+    let report = MetricsReport::from_parts(registry.snapshot(), recorder);
+    margs.write(
+        "balloon",
+        "cycles",
+        vec![compresso_exp::metrics::cell(
+            "balloon/mcf",
+            start.elapsed().as_millis(),
+            &report,
+        )],
+    );
 }

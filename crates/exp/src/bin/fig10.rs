@@ -1,17 +1,21 @@
 //! Regenerates Fig. 10: single-core performance (cycle-based,
 //! memory-capacity impact at 70%, and overall).
 
-use compresso_exp::{f2, params_banner, perf, render_table, arg_usize, SweepOptions};
+use compresso_exp::{arg_usize, f2, params_banner, perf, render_table, MetricsArgs, SweepOptions};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let ops = arg_usize(&args, "--ops", 50_000);
     let cap_ops = arg_usize(&args, "--cap-ops", 4_000_000);
     let opts = SweepOptions::from_args(&args);
+    let margs = MetricsArgs::from_args(&args);
     println!("{}\n", params_banner());
-    println!("Fig. 10: single-core, 70% constrained memory ({ops} cycle ops, {cap_ops} capacity ops)\n");
+    println!(
+        "Fig. 10: single-core, 70% constrained memory ({ops} cycle ops, {cap_ops} capacity ops)\n"
+    );
 
-    let rows = perf::fig10(ops, cap_ops, &opts);
+    let (rows, cells) = perf::fig10_with_metrics(ops, cap_ops, margs.epoch_len(), &opts);
+    margs.write("fig10", "cycles", cells);
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -32,19 +36,40 @@ fn main() {
         "{}",
         render_table(
             &[
-                "benchmark", "cyc:LCP", "cyc:Align", "cyc:Compresso", "cap:LCP",
-                "cap:Compresso", "cap:Unconstr", "overall:Compresso", ""
+                "benchmark",
+                "cyc:LCP",
+                "cyc:Align",
+                "cyc:Compresso",
+                "cap:LCP",
+                "cap:Compresso",
+                "cap:Unconstr",
+                "overall:Compresso",
+                ""
             ],
             &table
         )
     );
     let s = perf::summarize(&rows);
-    println!("geomean cycle-based    (LCP, Align, Compresso): {} {} {}   (paper: 0.938 0.961 0.998)",
-        f2(s.cycle.0), f2(s.cycle.1), f2(s.cycle.2));
-    println!("geomean memory-capacity (LCP, Compresso, Unconstr): {} {} {} (paper: 1.11 1.29 1.39)",
-        f2(s.memcap.0), f2(s.memcap.1), f2(s.memcap.2));
-    println!("geomean overall        (LCP, Align, Compresso): {} {} {}   (paper: 1.03 1.06 1.28)",
-        f2(s.overall.0), f2(s.overall.1), f2(s.overall.2));
-    println!("Compresso over LCP overall: {:.1}% (paper: 24.2%)",
-        (s.overall.2 / s.overall.0 - 1.0) * 100.0);
+    println!(
+        "geomean cycle-based    (LCP, Align, Compresso): {} {} {}   (paper: 0.938 0.961 0.998)",
+        f2(s.cycle.0),
+        f2(s.cycle.1),
+        f2(s.cycle.2)
+    );
+    println!(
+        "geomean memory-capacity (LCP, Compresso, Unconstr): {} {} {} (paper: 1.11 1.29 1.39)",
+        f2(s.memcap.0),
+        f2(s.memcap.1),
+        f2(s.memcap.2)
+    );
+    println!(
+        "geomean overall        (LCP, Align, Compresso): {} {} {}   (paper: 1.03 1.06 1.28)",
+        f2(s.overall.0),
+        f2(s.overall.1),
+        f2(s.overall.2)
+    );
+    println!(
+        "Compresso over LCP overall: {:.1}% (paper: 24.2%)",
+        (s.overall.2 / s.overall.0 - 1.0) * 100.0
+    );
 }

@@ -1,6 +1,6 @@
 //! Regenerates Fig. 11: 4-core mix performance.
 
-use compresso_exp::{f2, params_banner, perf, render_table, arg_usize, SweepOptions};
+use compresso_exp::{arg_usize, f2, params_banner, perf, render_table, MetricsArgs, SweepOptions};
 use compresso_workloads::MIXES;
 
 fn main() {
@@ -8,6 +8,7 @@ fn main() {
     let ops = arg_usize(&args, "--ops", 25_000);
     let cap_ops = arg_usize(&args, "--cap-ops", 3_000_000);
     let opts = SweepOptions::from_args(&args);
+    let margs = MetricsArgs::from_args(&args);
     println!("{}\n", params_banner());
     println!("Tab. IV mixes:");
     for (name, benchmarks) in MIXES {
@@ -15,7 +16,8 @@ fn main() {
     }
     println!("\nFig. 11: 4-core, 70% constrained memory ({ops} ops/core)\n");
 
-    let rows = perf::fig11(ops, cap_ops, &opts);
+    let (rows, cells) = perf::fig11_with_metrics(ops, cap_ops, margs.epoch_len(), &opts);
+    margs.write("fig11", "cycles", cells);
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -35,17 +37,35 @@ fn main() {
         "{}",
         render_table(
             &[
-                "mix", "cyc:LCP", "cyc:Align", "cyc:Compresso", "cap:LCP",
-                "cap:Compresso", "cap:Unconstr", "overall:Compresso"
+                "mix",
+                "cyc:LCP",
+                "cyc:Align",
+                "cyc:Compresso",
+                "cap:LCP",
+                "cap:Compresso",
+                "cap:Unconstr",
+                "overall:Compresso"
             ],
             &table
         )
     );
     let s = perf::summarize(&rows);
-    println!("geomean cycle-based    (LCP, Align, Compresso): {} {} {}   (paper: 0.90 0.95 0.975)",
-        f2(s.cycle.0), f2(s.cycle.1), f2(s.cycle.2));
-    println!("geomean memory-capacity (LCP, Compresso, Unconstr): {} {} {} (paper: 1.97 2.33 2.51)",
-        f2(s.memcap.0), f2(s.memcap.1), f2(s.memcap.2));
-    println!("geomean overall        (LCP, Align, Compresso): {} {} {}   (paper: 1.78 1.90 2.27)",
-        f2(s.overall.0), f2(s.overall.1), f2(s.overall.2));
+    println!(
+        "geomean cycle-based    (LCP, Align, Compresso): {} {} {}   (paper: 0.90 0.95 0.975)",
+        f2(s.cycle.0),
+        f2(s.cycle.1),
+        f2(s.cycle.2)
+    );
+    println!(
+        "geomean memory-capacity (LCP, Compresso, Unconstr): {} {} {} (paper: 1.97 2.33 2.51)",
+        f2(s.memcap.0),
+        f2(s.memcap.1),
+        f2(s.memcap.2)
+    );
+    println!(
+        "geomean overall        (LCP, Align, Compresso): {} {} {}   (paper: 1.78 1.90 2.27)",
+        f2(s.overall.0),
+        f2(s.overall.1),
+        f2(s.overall.2)
+    );
 }

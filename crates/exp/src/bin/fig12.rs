@@ -1,15 +1,19 @@
 //! Regenerates Fig. 12: energy relative to the uncompressed system.
 
-use compresso_exp::{energy_fig, f2, params_banner, render_table, arg_usize, SweepOptions};
+use compresso_exp::{
+    arg_usize, energy_fig, f2, params_banner, render_table, MetricsArgs, SweepOptions,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let ops = arg_usize(&args, "--ops", 40_000);
     let opts = SweepOptions::from_args(&args);
+    let margs = MetricsArgs::from_args(&args);
     println!("{}\n", params_banner());
     println!("Fig. 12: energy relative to uncompressed ({ops} ops)\n");
 
-    let mut rows = energy_fig::fig12(ops, &opts);
+    let (mut rows, cells) = energy_fig::fig12_with_metrics(ops, margs.epoch_len(), &opts);
+    margs.write("fig12", "cycles", cells);
     rows.push(energy_fig::average(&rows));
     let table: Vec<Vec<String>> = rows
         .iter()
@@ -26,7 +30,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["benchmark", "DRAM:LCP", "DRAM:Align", "DRAM:Compresso", "core:Compresso"],
+            &[
+                "benchmark",
+                "DRAM:LCP",
+                "DRAM:Align",
+                "DRAM:Compresso",
+                "core:Compresso"
+            ],
             &table
         )
     );

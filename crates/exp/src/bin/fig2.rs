@@ -1,15 +1,20 @@
 //! Regenerates Fig. 2: compression ratio of {BPC, BDI} x {LinePack, LCP}.
 
-use compresso_exp::{f2, fig2, params_banner, render_table, arg_usize, SweepOptions};
+use compresso_exp::{arg_usize, f2, fig2, params_banner, render_table, MetricsArgs, SweepOptions};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let pages = arg_usize(&args, "--pages", 1500);
     let opts = SweepOptions::from_args(&args);
+    let margs = MetricsArgs::from_args(&args);
     println!("{}\n", params_banner());
-    println!("Fig. 2: compression ratio per benchmark ({} pages sampled)\n", pages);
+    println!(
+        "Fig. 2: compression ratio per benchmark ({} pages sampled)\n",
+        pages
+    );
 
-    let mut rows = fig2::fig2(pages, &opts);
+    let (mut rows, cells) = fig2::fig2_with_metrics(pages, margs.epoch_len(), &opts);
+    margs.write("fig2", "ospa_bytes", cells);
     rows.push(fig2::average(&rows));
     let table: Vec<Vec<String>> = rows
         .iter()
@@ -26,7 +31,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["benchmark", "BPC+LinePack", "BPC+LCP", "BDI+LinePack", "BDI+LCP"],
+            &[
+                "benchmark",
+                "BPC+LinePack",
+                "BPC+LCP",
+                "BDI+LinePack",
+                "BDI+LCP"
+            ],
             &table
         )
     );
@@ -37,8 +48,10 @@ fn main() {
         (1.0 - avg.bdi_lcp / avg.bdi_linepack) * 100.0
     );
 
-    let (modified, baseline) =
-        fig2::bpc_modification_gain(&compresso_workloads::benchmark("perlbench").unwrap(), pages.min(400));
+    let (modified, baseline) = fig2::bpc_modification_gain(
+        &compresso_workloads::benchmark("perlbench").unwrap(),
+        pages.min(400),
+    );
     println!(
         "Modified BPC vs transform-only (perlbench): {:.2}x vs {:.2}x (paper: +13% memory saved on average)",
         modified, baseline

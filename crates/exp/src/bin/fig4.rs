@@ -1,16 +1,23 @@
 //! Regenerates Fig. 4: extra compression-related memory traffic of the
 //! unoptimized compressed system.
 
-use compresso_exp::{movement, params_banner, pct, render_table, arg_usize, SweepOptions};
+use compresso_exp::{
+    arg_usize, movement, params_banner, pct, render_table, MetricsArgs, SweepOptions,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let ops = arg_usize(&args, "--ops", 60_000);
     let opts = SweepOptions::from_args(&args);
+    let margs = MetricsArgs::from_args(&args);
     println!("{}\n", params_banner());
-    println!("Fig. 4: relative extra memory accesses, unoptimized system ({} ops)\n", ops);
+    println!(
+        "Fig. 4: relative extra memory accesses, unoptimized system ({} ops)\n",
+        ops
+    );
 
-    let rows = movement::fig4(ops, &opts);
+    let (rows, cells) = movement::fig4_with_metrics(ops, margs.epoch_len(), &opts);
+    margs.write("fig4", "cycles", cells);
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -27,11 +34,21 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["benchmark", "alloc", "split", "overflow", "metadata", "total-extra"],
+            &[
+                "benchmark",
+                "alloc",
+                "split",
+                "overflow",
+                "metadata",
+                "total-extra"
+            ],
             &table
         )
     );
     for (config, avg) in movement::averages(&rows) {
-        println!("average extra accesses [{config}]: {} (paper avg: 63%)", pct(avg));
+        println!(
+            "average extra accesses [{config}]: {} (paper avg: 63%)",
+            pct(avg)
+        );
     }
 }

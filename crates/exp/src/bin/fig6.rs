@@ -1,16 +1,20 @@
 //! Regenerates Fig. 6: reduction in extra traffic as the data-movement
 //! optimizations are applied cumulatively.
 
-use compresso_exp::{movement, params_banner, pct, render_table, arg_usize, SweepOptions};
+use compresso_exp::{
+    arg_usize, movement, params_banner, pct, render_table, MetricsArgs, SweepOptions,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let ops = arg_usize(&args, "--ops", 60_000);
     let opts = SweepOptions::from_args(&args);
+    let margs = MetricsArgs::from_args(&args);
     println!("{}\n", params_banner());
     println!("Fig. 6: optimization ablation ({} ops)\n", ops);
 
-    let rows = movement::fig6(ops, &opts);
+    let (rows, cells) = movement::fig6_with_metrics(ops, margs.epoch_len(), &opts);
+    margs.write("fig6", "cycles", cells);
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -27,7 +31,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["benchmark", "config", "split", "overflow", "metadata", "total-extra"],
+            &[
+                "benchmark",
+                "config",
+                "split",
+                "overflow",
+                "metadata",
+                "total-extra"
+            ],
             &table
         )
     );

@@ -1,16 +1,18 @@
 //! Regenerates Tab. II: speedups under 80/70/60% constrained memory.
 
-use compresso_exp::{f2, params_banner, perf, render_table, arg_usize, SweepOptions};
+use compresso_exp::{arg_usize, f2, params_banner, perf, render_table, MetricsArgs, SweepOptions};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let ops = arg_usize(&args, "--ops", 10_000);
     let cap_ops = arg_usize(&args, "--cap-ops", 3_000_000);
     let opts = SweepOptions::from_args(&args);
+    let margs = MetricsArgs::from_args(&args);
     println!("{}\n", params_banner());
     println!("Tab. II: memory-capacity impact, single-core geomeans\n");
 
-    let rows = perf::tab2(ops, cap_ops, &opts);
+    let (rows, cells) = perf::tab2_with_metrics(ops, cap_ops, margs.epoch_len(), &opts);
+    margs.write("tab2", "cycles", cells);
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

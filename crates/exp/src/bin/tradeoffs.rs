@@ -1,20 +1,34 @@
 //! Regenerates the §IV-A1 trade-off studies.
 
-use compresso_exp::{f2, params_banner, render_table, tradeoffs, arg_usize, SweepOptions};
+use compresso_exp::{
+    arg_usize, f2, params_banner, render_table, tradeoffs, MetricsArgs, SweepOptions,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let pages = arg_usize(&args, "--pages", 300);
     let ops = arg_usize(&args, "--ops", 20_000);
     let opts = SweepOptions::from_args(&args);
+    let margs = MetricsArgs::from_args(&args);
     println!("{}\n", params_banner());
     println!("S IV-A1 trade-offs ({pages} pages, {ops} ops)\n");
 
+    let (line_rows, mut cells) =
+        tradeoffs::line_bin_tradeoff_with(pages, ops, margs.epoch_len(), &opts);
+    let (page_rows, page_cells) =
+        tradeoffs::page_size_tradeoff_with(pages, ops, margs.epoch_len(), &opts);
+    cells.extend(page_cells);
+    margs.write("tradeoffs", "cycles", cells);
+
     for (title, rows) in [
-        ("Line-size bins (paper: 8 bins 1.82x vs 4 bins 1.59x; +17.5% line overflows)",
-         tradeoffs::line_bin_tradeoff(pages, ops, &opts)),
-        ("Page sizes (paper: 8 sizes 1.85x vs 4 sizes 1.59x; up to +53% resizing)",
-         tradeoffs::page_size_tradeoff(pages, ops, &opts)),
+        (
+            "Line-size bins (paper: 8 bins 1.82x vs 4 bins 1.59x; +17.5% line overflows)",
+            line_rows,
+        ),
+        (
+            "Page sizes (paper: 8 sizes 1.85x vs 4 sizes 1.59x; up to +53% resizing)",
+            page_rows,
+        ),
     ] {
         println!("{title}");
         let table: Vec<Vec<String>> = rows
@@ -30,7 +44,10 @@ fn main() {
             .collect();
         println!(
             "{}",
-            render_table(&["config", "avg-ratio", "line-overflows", "page-overflows"], &table)
+            render_table(
+                &["config", "avg-ratio", "line-overflows", "page-overflows"],
+                &table
+            )
         );
     }
 }

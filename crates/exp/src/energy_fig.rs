@@ -3,6 +3,7 @@
 use crate::runner::{run_single, RunResult, SystemKind};
 use crate::sweep::{run_grid, SweepCell, SweepOptions};
 use compresso_energy::{evaluate, EnergyParams};
+use compresso_telemetry::CellMetrics;
 use compresso_workloads::all_benchmarks;
 use serde::Serialize;
 
@@ -54,13 +55,24 @@ pub fn energy_row(benchmark: &str, ops: usize) -> Fig12Row {
 
 /// The full Fig. 12 sweep: a (benchmark × 4 systems) grid on the engine.
 pub fn fig12(ops: usize, opts: &SweepOptions) -> Vec<Fig12Row> {
+    fig12_with_metrics(ops, 0, opts).0
+}
+
+/// As [`fig12`] with per-cell metric export (one cell per benchmark ×
+/// system cycle run).
+pub fn fig12_with_metrics(
+    ops: usize,
+    epoch: u64,
+    opts: &SweepOptions,
+) -> (Vec<Fig12Row>, Vec<CellMetrics>) {
     let mut cells = Vec::new();
     for profile in all_benchmarks() {
         for system in SystemKind::evaluated() {
-            cells.push(SweepCell::single(profile.name, system, ops));
+            cells.push(SweepCell::single(profile.name, system, ops).with_epoch(epoch));
         }
     }
     let outcomes = run_grid(cells, opts);
+    let metrics = crate::metrics::runs_to_cells(&outcomes);
     let mut rows = Vec::new();
     for quad in outcomes.chunks(4) {
         let runs: Vec<&RunResult> = quad.iter().filter_map(|o| o.result.as_ref().ok()).collect();
@@ -74,7 +86,7 @@ pub fn fig12(ops: usize, opts: &SweepOptions) -> Vec<Fig12Row> {
         }
         rows.push(row_from_runs(&runs[0].workload, &runs));
     }
-    rows
+    (rows, metrics)
 }
 
 /// Arithmetic averages over the rows (the paper's "Average" bar).
@@ -114,11 +126,19 @@ mod tests {
             .map(|s| SweepCell::single("soplex", s, 2_000))
             .collect();
         let outcomes = run_grid(cells, &SweepOptions::with_jobs(4));
-        let runs: Vec<&RunResult> =
-            outcomes.iter().map(|o| o.result.as_ref().expect("cell ok")).collect();
+        let runs: Vec<&RunResult> = outcomes
+            .iter()
+            .map(|o| o.result.as_ref().expect("cell ok"))
+            .collect();
         let grid = row_from_runs("soplex", &runs);
-        assert_eq!(serial.dram_compresso.to_bits(), grid.dram_compresso.to_bits());
-        assert_eq!(serial.core_compresso.to_bits(), grid.core_compresso.to_bits());
+        assert_eq!(
+            serial.dram_compresso.to_bits(),
+            grid.dram_compresso.to_bits()
+        );
+        assert_eq!(
+            serial.core_compresso.to_bits(),
+            grid.core_compresso.to_bits()
+        );
     }
 
     #[test]

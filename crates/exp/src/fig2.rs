@@ -9,6 +9,9 @@
 use crate::sweep::{run_cells, successes, SweepOptions};
 use compresso_compression::{Bdi, BinSet, Bpc, Compressor};
 use compresso_core::{lcp_plan, PageAllocation};
+use compresso_telemetry::{
+    CellMetrics, Counter, EpochRecorder, LatencyHistogram, MetricsReport, Registry,
+};
 use compresso_workloads::{all_benchmarks, BenchmarkProfile, DataWorld, PAGE_BYTES};
 use serde::Serialize;
 
@@ -46,10 +49,35 @@ fn page_bytes_lcp(sizes: &[usize], bins: &BinSet) -> u64 {
 /// Computes the four ratios for one benchmark, sampling at most
 /// `max_pages` pages.
 pub fn ratios_for(profile: &BenchmarkProfile, max_pages: usize) -> Fig2Row {
+    ratios_with_metrics(profile, max_pages, 0).0
+}
+
+/// As [`ratios_for`], also producing the cell's metric bundle: page /
+/// line / zero-line counters, per-codec compressed-line-size
+/// histograms, and an epoch snapshot every `epoch` *OSPA bytes
+/// scanned* (the static study's simulated clock; 0 disables).
+pub fn ratios_with_metrics(
+    profile: &BenchmarkProfile,
+    max_pages: usize,
+    epoch: u64,
+) -> (Fig2Row, MetricsReport) {
     let world = DataWorld::new(profile);
     let bins = BinSet::aligned4();
     let bpc = Bpc::new();
     let bdi = Bdi::new();
+
+    let registry = Registry::new();
+    let mut pages_scanned = Counter::new();
+    let mut lines_scanned = Counter::new();
+    let mut zero_lines = Counter::new();
+    registry.register_counter("fig2.page.total", &pages_scanned);
+    registry.register_counter("fig2.line.total", &lines_scanned);
+    registry.register_counter("fig2.zero_line.total", &zero_lines);
+    let bpc_bytes = LatencyHistogram::line_bytes();
+    let bdi_bytes = LatencyHistogram::line_bytes();
+    registry.register_histogram("fig2.bpc.line_bytes", &bpc_bytes);
+    registry.register_histogram("fig2.bdi.line_bytes", &bdi_bytes);
+    let mut recorder = EpochRecorder::new(registry.clone(), epoch);
 
     let pages = profile.footprint_pages.min(max_pages) as u64;
     let mut totals = [0u64; 4]; // bpc_lp, bpc_lcp, bdi_lp, bdi_lcp
@@ -58,33 +86,61 @@ pub fn ratios_for(profile: &BenchmarkProfile, max_pages: usize) -> Fig2Row {
         let mut bdi_sizes = [0usize; 64];
         for line in 0..64u64 {
             let data = world.line_data(page * PAGE_BYTES + line * 64);
+            lines_scanned += 1;
             if compresso_compression::is_zero_line(&data) {
+                zero_lines += 1;
                 continue;
             }
             bpc_sizes[line as usize] = bpc.compressed_size(&data);
             bdi_sizes[line as usize] = bdi.compressed_size(&data);
+            bpc_bytes.record(bpc_sizes[line as usize] as u64);
+            bdi_bytes.record(bdi_sizes[line as usize] as u64);
         }
         totals[0] += page_bytes_linepack(&bpc_sizes, &bins);
         totals[1] += page_bytes_lcp(&bpc_sizes, &bins);
         totals[2] += page_bytes_linepack(&bdi_sizes, &bins);
         totals[3] += page_bytes_lcp(&bdi_sizes, &bins);
+        pages_scanned += 1;
+        recorder.observe((page + 1) * PAGE_BYTES);
     }
     let ospa = pages * PAGE_BYTES;
     let ratio = |mpa: u64| ospa as f64 / mpa.max(1) as f64;
-    Fig2Row {
+    let row = Fig2Row {
         benchmark: profile.name.to_string(),
         bpc_linepack: ratio(totals[0]),
         bpc_lcp: ratio(totals[1]),
         bdi_linepack: ratio(totals[2]),
         bdi_lcp: ratio(totals[3]),
-    }
+    };
+    (
+        row,
+        MetricsReport::from_parts(registry.snapshot(), recorder),
+    )
 }
 
 /// Runs the full Fig. 2 study, one sweep cell per benchmark.
 pub fn fig2(max_pages: usize, opts: &SweepOptions) -> Vec<Fig2Row> {
-    let cells: Vec<(String, BenchmarkProfile)> =
-        all_benchmarks().into_iter().map(|p| (format!("fig2/{}", p.name), p)).collect();
-    successes(run_cells(cells, |p| ratios_for(&p, max_pages), opts))
+    fig2_with_metrics(max_pages, 0, opts).0
+}
+
+/// As [`fig2`], also returning exportable per-cell metric bundles
+/// (epoch ticks are OSPA bytes scanned).
+pub fn fig2_with_metrics(
+    max_pages: usize,
+    epoch: u64,
+    opts: &SweepOptions,
+) -> (Vec<Fig2Row>, Vec<CellMetrics>) {
+    let cells: Vec<(String, BenchmarkProfile)> = all_benchmarks()
+        .into_iter()
+        .map(|p| (format!("fig2/{}", p.name), p))
+        .collect();
+    let outcomes = run_cells(cells, |p| ratios_with_metrics(&p, max_pages, epoch), opts);
+    let metrics = crate::metrics::collect(&outcomes, |(_, report)| report);
+    let rows = successes(outcomes)
+        .into_iter()
+        .map(|(row, _)| row)
+        .collect();
+    (rows, metrics)
 }
 
 /// Arithmetic-mean summary row over benchmark ratios (the paper's
@@ -135,7 +191,11 @@ mod tests {
     #[test]
     fn zeusmp_is_the_outlier() {
         let r = ratios_for(&benchmark("zeusmp").unwrap(), 400);
-        assert!(r.bpc_linepack > 4.0, "zeusmp BPC+LinePack should be high: {:.2}", r.bpc_linepack);
+        assert!(
+            r.bpc_linepack > 4.0,
+            "zeusmp BPC+LinePack should be high: {:.2}",
+            r.bpc_linepack
+        );
     }
 
     #[test]
@@ -177,6 +237,9 @@ mod tests {
     #[test]
     fn modified_bpc_never_worse() {
         let (modified, baseline) = bpc_modification_gain(&benchmark("perlbench").unwrap(), 100);
-        assert!(modified >= baseline * 0.999, "{modified:.3} vs {baseline:.3}");
+        assert!(
+            modified >= baseline * 0.999,
+            "{modified:.3} vs {baseline:.3}"
+        );
     }
 }

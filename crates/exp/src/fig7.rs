@@ -13,6 +13,7 @@
 use crate::sweep::{run_cells, successes, SweepOptions};
 use compresso_cache_sim::Backend;
 use compresso_core::{CompressoConfig, CompressoDevice, MemoryDevice};
+use compresso_telemetry::{CellMetrics, EpochRecorder, MetricsReport};
 use compresso_workloads::{all_benchmarks, DataWorld, Evolution, PAGE_BYTES};
 use serde::Serialize;
 
@@ -31,7 +32,12 @@ pub struct Fig7Row {
     pub repack_overhead: f64,
 }
 
-fn aged_run(benchmark: &str, repacking: bool, pages: usize) -> (f64, f64) {
+fn aged_run(
+    benchmark: &str,
+    repacking: bool,
+    pages: usize,
+    epoch: u64,
+) -> (f64, f64, MetricsReport) {
     let profile = compresso_workloads::benchmark(benchmark).expect("known benchmark");
     let scan = DataWorld::new(&profile);
     let footprint = profile.footprint_pages as u64;
@@ -44,6 +50,8 @@ fn aged_run(benchmark: &str, repacking: bool, pages: usize) -> (f64, f64) {
     let mut cfg = CompressoConfig::compresso();
     cfg.repacking = repacking;
     let mut device = CompressoDevice::new(cfg, DataWorld::new(&profile));
+    let registry = device.metrics().clone();
+    let mut recorder = EpochRecorder::new(registry.clone(), epoch);
 
     let mut t = 0u64;
     // Age: several epochs of writebacks over the evolving pages, each
@@ -53,10 +61,12 @@ fn aged_run(benchmark: &str, repacking: bool, pages: usize) -> (f64, f64) {
     for _ in 0..4 {
         for &page in &aged {
             for line in 0..64u64 {
+                recorder.observe(t);
                 t = device.writeback(t, page * PAGE_BYTES + line * 64).max(t);
             }
         }
         for page in 0..sweep {
+            recorder.observe(t);
             t = device.fill(t, page * PAGE_BYTES).max(t);
         }
     }
@@ -69,28 +79,62 @@ fn aged_run(benchmark: &str, repacking: bool, pages: usize) -> (f64, f64) {
     let ratio = aged.len() as f64 * PAGE_BYTES as f64 / allocated.max(1) as f64;
     let repack_traffic = device.device_stats().repack_extra as f64
         / device.device_stats().baseline_accesses().max(1) as f64;
-    (ratio, repack_traffic)
+    let metrics = MetricsReport::from_parts(registry.snapshot(), recorder);
+    (ratio, repack_traffic, metrics)
 }
 
 /// Runs one benchmark's long-run aging with and without repacking.
 pub fn repacking_impact(benchmark: &str, pages: usize) -> Fig7Row {
-    let (with, overhead) = aged_run(benchmark, true, pages);
-    let (without, _) = aged_run(benchmark, false, pages);
-    Fig7Row {
+    repacking_impact_with(benchmark, pages, 0).0
+}
+
+/// As [`repacking_impact`], also returning the with-repacking run's
+/// metric bundle (epochs tick in aged device time).
+pub fn repacking_impact_with(
+    benchmark: &str,
+    pages: usize,
+    epoch: u64,
+) -> (Fig7Row, MetricsReport) {
+    let (with, overhead, metrics) = aged_run(benchmark, true, pages, epoch);
+    let (without, _, _) = aged_run(benchmark, false, pages, 0);
+    let row = Fig7Row {
         benchmark: benchmark.to_string(),
         with_repacking: with,
         without_repacking: without,
         relative: without / with.max(1e-9),
         repack_overhead: overhead,
-    }
+    };
+    (row, metrics)
 }
 
 /// The full Fig. 7 sweep, one cell per benchmark. `pages` bounds the
 /// aged region per benchmark.
 pub fn fig7(pages: usize, opts: &SweepOptions) -> Vec<Fig7Row> {
-    let cells: Vec<(String, &'static str)> =
-        all_benchmarks().iter().map(|p| (format!("fig7/{}", p.name), p.name)).collect();
-    successes(run_cells(cells, |name| repacking_impact(name, pages), opts))
+    fig7_with_metrics(pages, 0, opts).0
+}
+
+/// As [`fig7`] with per-cell metric export (the with-repacking device's
+/// registry per benchmark).
+pub fn fig7_with_metrics(
+    pages: usize,
+    epoch: u64,
+    opts: &SweepOptions,
+) -> (Vec<Fig7Row>, Vec<CellMetrics>) {
+    let cells: Vec<(String, &'static str)> = all_benchmarks()
+        .iter()
+        .map(|p| (format!("fig7/{}", p.name), p.name))
+        .collect();
+    let outcomes = run_cells(
+        cells,
+        |name| repacking_impact_with(name, pages, epoch),
+        opts,
+    );
+    let metrics = crate::metrics::collect(&outcomes, |(_, report)| report);
+    let rows = successes(outcomes)
+        .into_iter()
+        .map(|(row, _)| row)
+        .collect();
+    (rows, metrics)
 }
 
 #[cfg(test)]

@@ -19,9 +19,11 @@
 //! | `balloon` | §V-B ballooning under MPA pressure |
 //! | `all` | everything above at reduced scale |
 //!
-//! Every binary accepts `--ops N` (memory operations per cycle run) and
+//! Every binary accepts `--ops N` (memory operations per cycle run),
 //! `--jobs N` (sweep worker threads, default `COMPRESSO_JOBS` or the
-//! machine's parallelism), and prints Tab. III parameters alongside
+//! machine's parallelism), and `--metrics-out <path>` / `--epoch <ticks>`
+//! (machine-readable `compresso.metrics.v1` export, see DESIGN.md §9),
+//! and prints Tab. III parameters alongside
 //! results so runs are self-describing. Parallel sweeps are bit-identical
 //! to serial ones: each cell owns its world and seeded RNG, and
 //! `tests/sweep_determinism.rs` enforces it.
@@ -29,6 +31,7 @@
 pub mod energy_fig;
 pub mod fig2;
 pub mod fig7;
+pub mod metrics;
 pub mod movement;
 pub mod perf;
 pub mod report;
@@ -36,8 +39,11 @@ pub mod runner;
 pub mod sweep;
 pub mod tradeoffs;
 
+pub use metrics::MetricsArgs;
 pub use report::{f2, pct, render_table};
-pub use runner::{geomean, run_mix, run_single, RunResult, SystemKind};
+pub use runner::{
+    geomean, run_mix, run_mix_with, run_single, run_single_with, RunResult, SystemKind,
+};
 pub use sweep::{
     run_cells, run_grid, successes, CellError, CellOutcome, SweepCell, SweepOptions, Workload,
 };
@@ -80,8 +86,10 @@ mod tests {
 
     #[test]
     fn arg_parsing() {
-        let args: Vec<String> =
-            ["prog", "--ops", "5000"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["prog", "--ops", "5000"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(arg_usize(&args, "--ops", 100), 5000);
         assert_eq!(arg_usize(&args, "--pages", 7), 7);
     }

@@ -4,6 +4,7 @@
 use crate::runner::{RunResult, SystemKind};
 use crate::sweep::{run_grid, successes, SweepCell, SweepOptions};
 use compresso_core::{CompressoConfig, PageAllocation};
+use compresso_telemetry::CellMetrics;
 use compresso_workloads::all_benchmarks;
 use serde::Serialize;
 
@@ -42,40 +43,71 @@ fn row_of(r: &RunResult) -> MovementRow {
 /// Fig. 4: the unoptimized compressed system's extra accesses, for fixed
 /// 512 B chunks (left bars) and 4 variable-sized chunks (right bars).
 pub fn fig4(ops: usize, opts: &SweepOptions) -> Vec<MovementRow> {
+    fig4_with_metrics(ops, 0, opts).0
+}
+
+/// As [`fig4`], recording an epoch series every `epoch` core cycles and
+/// returning the exportable per-cell metric bundles.
+pub fn fig4_with_metrics(
+    ops: usize,
+    epoch: u64,
+    opts: &SweepOptions,
+) -> (Vec<MovementRow>, Vec<CellMetrics>) {
     let mut cells = Vec::new();
     for profile in all_benchmarks() {
-        cells.push(SweepCell::single(
-            profile.name,
-            SystemKind::custom("fixed512", CompressoConfig::unoptimized(PageAllocation::Chunks512)),
-            ops,
-        ));
-        cells.push(SweepCell::single(
-            profile.name,
-            SystemKind::custom(
-                "variable4",
-                CompressoConfig::unoptimized(PageAllocation::Variable4),
-            ),
-            ops,
-        ));
+        cells.push(
+            SweepCell::single(
+                profile.name,
+                SystemKind::custom(
+                    "fixed512",
+                    CompressoConfig::unoptimized(PageAllocation::Chunks512),
+                ),
+                ops,
+            )
+            .with_epoch(epoch),
+        );
+        cells.push(
+            SweepCell::single(
+                profile.name,
+                SystemKind::custom(
+                    "variable4",
+                    CompressoConfig::unoptimized(PageAllocation::Variable4),
+                ),
+                ops,
+            )
+            .with_epoch(epoch),
+        );
     }
-    successes(run_grid(cells, opts)).iter().map(row_of).collect()
+    let outcomes = run_grid(cells, opts);
+    let metrics = crate::metrics::runs_to_cells(&outcomes);
+    (successes(outcomes).iter().map(row_of).collect(), metrics)
 }
 
 /// Fig. 6: extra accesses as the optimizations land cumulatively
 /// (ablation ladder), per benchmark.
 pub fn fig6(ops: usize, opts: &SweepOptions) -> Vec<MovementRow> {
+    fig6_with_metrics(ops, 0, opts).0
+}
+
+/// As [`fig6`] with metric export, as in [`fig4_with_metrics`].
+pub fn fig6_with_metrics(
+    ops: usize,
+    epoch: u64,
+    opts: &SweepOptions,
+) -> (Vec<MovementRow>, Vec<CellMetrics>) {
     let ladder = CompressoConfig::ablation_ladder(PageAllocation::Chunks512);
     let mut cells = Vec::new();
     for profile in all_benchmarks() {
         for (label, cfg) in &ladder {
-            cells.push(SweepCell::single(
-                profile.name,
-                SystemKind::custom(*label, cfg.clone()),
-                ops,
-            ));
+            cells.push(
+                SweepCell::single(profile.name, SystemKind::custom(*label, cfg.clone()), ops)
+                    .with_epoch(epoch),
+            );
         }
     }
-    successes(run_grid(cells, opts)).iter().map(row_of).collect()
+    let outcomes = run_grid(cells, opts);
+    let metrics = crate::metrics::runs_to_cells(&outcomes);
+    (successes(outcomes).iter().map(row_of).collect(), metrics)
 }
 
 /// Average total extra accesses per configuration label.
@@ -89,8 +121,11 @@ pub fn averages(rows: &[MovementRow]) -> Vec<(String, f64)> {
     order
         .into_iter()
         .map(|config| {
-            let values: Vec<f64> =
-                rows.iter().filter(|r| r.config == config).map(|r| r.total).collect();
+            let values: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.config == config)
+                .map(|r| r.total)
+                .collect();
             let avg = values.iter().sum::<f64>() / values.len().max(1) as f64;
             (config, avg)
         })
@@ -189,8 +224,10 @@ mod tests {
                 })
                 .collect::<Vec<_>>()
         };
-        let serial: Vec<MovementRow> =
-            successes(run_grid(cells(2_000), &SweepOptions::serial())).iter().map(row_of).collect();
+        let serial: Vec<MovementRow> = successes(run_grid(cells(2_000), &SweepOptions::serial()))
+            .iter()
+            .map(row_of)
+            .collect();
         let parallel: Vec<MovementRow> =
             successes(run_grid(cells(2_000), &SweepOptions::with_jobs(2)))
                 .iter()

@@ -7,9 +7,10 @@
 //! benchmark's compressibility vector (its profiling-stage phase trace
 //! anchored at the ratio measured in the cycle simulation).
 
-use crate::runner::{geomean, run_mix, run_single, RunResult, SystemKind};
+use crate::runner::{geomean, run_mix_with, run_single_with, RunResult, SystemKind};
 use crate::sweep::{run_cells, successes, SweepOptions};
 use compresso_oskit::{capacity_run, Budget};
+use compresso_telemetry::{CellMetrics, MetricsReport};
 use compresso_workloads::{
     all_benchmarks, benchmark, full_run, BenchmarkProfile, UnknownBenchmark, MIXES,
 };
@@ -38,6 +39,11 @@ pub struct PerfRow {
     pub ratio_lcp: f64,
     /// Compresso's measured compression ratio.
     pub ratio_compresso: f64,
+    /// Merged metric bundle of the four cycle runs, each under its
+    /// system prefix (`uncompressed.*`, `lcp.*`, `lcp_align.*`,
+    /// `compresso.*`).
+    #[serde(skip)]
+    pub metrics: MetricsReport,
 }
 
 impl PerfRow {
@@ -68,23 +74,59 @@ fn capacity_rel(profile: &BenchmarkProfile, fraction: f64, budget: &Budget, ops:
     baseline.runtime_cycles as f64 / system.runtime_cycles.max(1) as f64
 }
 
+/// Merges the per-system cycle-run metric bundles of one perf row under
+/// stable system prefixes.
+fn merge_system_metrics(
+    base: &RunResult,
+    lcp: &RunResult,
+    align: &RunResult,
+    comp: &RunResult,
+) -> MetricsReport {
+    MetricsReport::merged_prefixed(&[
+        ("uncompressed", &base.metrics),
+        ("lcp", &lcp.metrics),
+        ("lcp_align", &align.metrics),
+        ("compresso", &comp.metrics),
+    ])
+}
+
 /// Evaluates one benchmark at a capacity `fraction` (0.7 for Fig. 10).
-pub fn perf_row(profile: &BenchmarkProfile, fraction: f64, cycle_ops: usize, cap_ops: usize) -> PerfRow {
-    let base = run_single(profile, &SystemKind::Uncompressed, cycle_ops);
-    let lcp = run_single(profile, &SystemKind::Lcp, cycle_ops);
-    let align = run_single(profile, &SystemKind::LcpAlign, cycle_ops);
-    let comp = run_single(profile, &SystemKind::Compresso, cycle_ops);
+pub fn perf_row(
+    profile: &BenchmarkProfile,
+    fraction: f64,
+    cycle_ops: usize,
+    cap_ops: usize,
+) -> PerfRow {
+    perf_row_with(profile, fraction, cycle_ops, cap_ops, 0)
+}
+
+/// As [`perf_row`], recording an epoch metrics series every `epoch`
+/// cycles in each of the four cycle runs.
+pub fn perf_row_with(
+    profile: &BenchmarkProfile,
+    fraction: f64,
+    cycle_ops: usize,
+    cap_ops: usize,
+    epoch: u64,
+) -> PerfRow {
+    let base = run_single_with(profile, &SystemKind::Uncompressed, cycle_ops, epoch);
+    let lcp = run_single_with(profile, &SystemKind::Lcp, cycle_ops, epoch);
+    let align = run_single_with(profile, &SystemKind::LcpAlign, cycle_ops, epoch);
+    let comp = run_single_with(profile, &SystemKind::Compresso, cycle_ops, epoch);
 
     let rel = |r: &RunResult| base.cycles as f64 / r.cycles.max(1) as f64;
 
     let footprint = profile.footprint_pages;
-    let ratios_lcp: Vec<f64> =
-        full_run(profile, lcp.ratio, 16).iter().map(|i| i.compression_ratio).collect();
-    let ratios_comp: Vec<f64> =
-        full_run(profile, comp.ratio, 16).iter().map(|i| i.compression_ratio).collect();
+    let ratios_lcp: Vec<f64> = full_run(profile, lcp.ratio, 16)
+        .iter()
+        .map(|i| i.compression_ratio)
+        .collect();
+    let ratios_comp: Vec<f64> = full_run(profile, comp.ratio, 16)
+        .iter()
+        .map(|i| i.compression_ratio)
+        .collect();
 
-    let baseline_run =
-        capacity_run(profile, &Budget::constrained(fraction, footprint), cap_ops);
+    let baseline_run = capacity_run(profile, &Budget::constrained(fraction, footprint), cap_ops);
     PerfRow {
         workload: profile.name.to_string(),
         cycle_lcp: rel(&lcp),
@@ -106,15 +148,34 @@ pub fn perf_row(profile: &BenchmarkProfile, fraction: f64, cycle_ops: usize, cap
         stalled: baseline_run.stalled(),
         ratio_lcp: lcp.ratio,
         ratio_compresso: comp.ratio,
+        metrics: merge_system_metrics(&base, &lcp, &align, &comp),
     }
 }
 
 /// Fig. 10: all 30 single-core benchmarks at 70% constrained memory,
 /// one sweep cell per benchmark.
 pub fn fig10(cycle_ops: usize, cap_ops: usize, opts: &SweepOptions) -> Vec<PerfRow> {
-    let cells: Vec<(String, BenchmarkProfile)> =
-        all_benchmarks().into_iter().map(|p| (format!("fig10/{}", p.name), p)).collect();
-    successes(run_cells(cells, |p| perf_row(&p, 0.7, cycle_ops, cap_ops), opts))
+    fig10_with_metrics(cycle_ops, cap_ops, 0, opts).0
+}
+
+/// As [`fig10`] with per-cell metric export.
+pub fn fig10_with_metrics(
+    cycle_ops: usize,
+    cap_ops: usize,
+    epoch: u64,
+    opts: &SweepOptions,
+) -> (Vec<PerfRow>, Vec<CellMetrics>) {
+    let cells: Vec<(String, BenchmarkProfile)> = all_benchmarks()
+        .into_iter()
+        .map(|p| (format!("fig10/{}", p.name), p))
+        .collect();
+    let outcomes = run_cells(
+        cells,
+        |p| perf_row_with(&p, 0.7, cycle_ops, cap_ops, epoch),
+        opts,
+    );
+    let metrics = crate::metrics::collect(&outcomes, |r| &r.metrics);
+    (successes(outcomes), metrics)
 }
 
 /// Geomean summary (cycle, memcap, overall) excluding stalled workloads
@@ -160,18 +221,30 @@ pub fn summarize(rows: &[PerfRow]) -> PerfSummary {
 /// (the paper's "average progress" metric); each benchmark's budget uses
 /// the mix device's measured ratio.
 pub fn fig11(cycle_ops: usize, cap_ops: usize, opts: &SweepOptions) -> Vec<PerfRow> {
+    fig11_with_metrics(cycle_ops, cap_ops, 0, opts).0
+}
+
+/// As [`fig11`] with per-cell metric export.
+pub fn fig11_with_metrics(
+    cycle_ops: usize,
+    cap_ops: usize,
+    epoch: u64,
+    opts: &SweepOptions,
+) -> (Vec<PerfRow>, Vec<CellMetrics>) {
     let cells: Vec<(String, (&str, [&str; 4]))> = MIXES
         .iter()
         .map(|(name, benchmarks)| (format!("fig11/{name}"), (*name, *benchmarks)))
         .collect();
-    successes(run_cells(
+    let outcomes = run_cells(
         cells,
         |(name, benchmarks)| {
-            mix_row(name, benchmarks, 0.7, cycle_ops, cap_ops)
+            mix_row_with(name, benchmarks, 0.7, cycle_ops, cap_ops, epoch)
                 .expect("paper mix names are valid")
         },
         opts,
-    ))
+    );
+    let metrics = crate::metrics::collect(&outcomes, |r| &r.metrics);
+    (successes(outcomes), metrics)
 }
 
 /// Evaluates one mix.
@@ -187,10 +260,32 @@ pub fn mix_row(
     cycle_ops: usize,
     cap_ops: usize,
 ) -> Result<PerfRow, UnknownBenchmark> {
-    let base = run_mix(name, benchmarks, &SystemKind::Uncompressed, cycle_ops)?;
-    let lcp = run_mix(name, benchmarks, &SystemKind::Lcp, cycle_ops)?;
-    let align = run_mix(name, benchmarks, &SystemKind::LcpAlign, cycle_ops)?;
-    let comp = run_mix(name, benchmarks, &SystemKind::Compresso, cycle_ops)?;
+    mix_row_with(name, benchmarks, fraction, cycle_ops, cap_ops, 0)
+}
+
+/// As [`mix_row`] with an epoch length for the metrics time-series.
+///
+/// # Errors
+///
+/// Returns [`UnknownBenchmark`] if any mix member is unknown.
+pub fn mix_row_with(
+    name: &str,
+    benchmarks: [&str; 4],
+    fraction: f64,
+    cycle_ops: usize,
+    cap_ops: usize,
+    epoch: u64,
+) -> Result<PerfRow, UnknownBenchmark> {
+    let base = run_mix_with(
+        name,
+        benchmarks,
+        &SystemKind::Uncompressed,
+        cycle_ops,
+        epoch,
+    )?;
+    let lcp = run_mix_with(name, benchmarks, &SystemKind::Lcp, cycle_ops, epoch)?;
+    let align = run_mix_with(name, benchmarks, &SystemKind::LcpAlign, cycle_ops, epoch)?;
+    let comp = run_mix_with(name, benchmarks, &SystemKind::Compresso, cycle_ops, epoch)?;
     let rel = |r: &RunResult| base.cycles as f64 / r.cycles.max(1) as f64;
 
     // Memory-capacity: average progress across the mix's benchmarks.
@@ -198,10 +293,14 @@ pub fn mix_row(
     for bench in benchmarks {
         let profile = benchmark(bench).expect("validated by run_mix above");
         let footprint = profile.footprint_pages;
-        let ratios_lcp: Vec<f64> =
-            full_run(&profile, lcp.ratio, 16).iter().map(|i| i.compression_ratio).collect();
-        let ratios_comp: Vec<f64> =
-            full_run(&profile, comp.ratio, 16).iter().map(|i| i.compression_ratio).collect();
+        let ratios_lcp: Vec<f64> = full_run(&profile, lcp.ratio, 16)
+            .iter()
+            .map(|i| i.compression_ratio)
+            .collect();
+        let ratios_comp: Vec<f64> = full_run(&profile, comp.ratio, 16)
+            .iter()
+            .map(|i| i.compression_ratio)
+            .collect();
         memcap[0] += capacity_rel(
             &profile,
             fraction,
@@ -228,6 +327,7 @@ pub fn mix_row(
         stalled: false,
         ratio_lcp: lcp.ratio,
         ratio_compresso: comp.ratio,
+        metrics: merge_system_metrics(&base, &lcp, &align, &comp),
     })
 }
 
@@ -244,6 +344,16 @@ pub struct Tab2Row {
 /// (fraction × benchmark) grid is one flat sweep; rows regroup by
 /// fraction afterwards.
 pub fn tab2(cycle_ops: usize, cap_ops: usize, opts: &SweepOptions) -> Vec<Tab2Row> {
+    tab2_with_metrics(cycle_ops, cap_ops, 0, opts).0
+}
+
+/// As [`tab2`] with per-cell metric export.
+pub fn tab2_with_metrics(
+    cycle_ops: usize,
+    cap_ops: usize,
+    epoch: u64,
+    opts: &SweepOptions,
+) -> (Vec<Tab2Row>, Vec<CellMetrics>) {
     const FRACTIONS: [f64; 3] = [0.8, 0.7, 0.6];
     let benchmarks = all_benchmarks();
     let per_fraction = benchmarks.len();
@@ -251,20 +361,29 @@ pub fn tab2(cycle_ops: usize, cap_ops: usize, opts: &SweepOptions) -> Vec<Tab2Ro
         .iter()
         .flat_map(|&fraction| {
             benchmarks.iter().map(move |p| {
-                (format!("tab2/{}@{:.0}%", p.name, fraction * 100.0), (fraction, p.clone()))
+                (
+                    format!("tab2/{}@{:.0}%", p.name, fraction * 100.0),
+                    (fraction, p.clone()),
+                )
             })
         })
         .collect();
-    let rows = successes(run_cells(
+    let outcomes = run_cells(
         cells,
-        |(fraction, p)| perf_row(&p, fraction, cycle_ops, cap_ops),
+        |(fraction, p)| perf_row_with(&p, fraction, cycle_ops, cap_ops, epoch),
         opts,
-    ));
-    FRACTIONS
+    );
+    let metrics = crate::metrics::collect(&outcomes, |r| &r.metrics);
+    let rows = successes(outcomes);
+    let tab = FRACTIONS
         .iter()
         .zip(rows.chunks(per_fraction))
-        .map(|(&fraction, chunk)| Tab2Row { fraction, single_core: summarize(chunk).memcap })
-        .collect()
+        .map(|(&fraction, chunk)| Tab2Row {
+            fraction,
+            single_core: summarize(chunk).memcap,
+        })
+        .collect();
+    (tab, metrics)
 }
 
 #[cfg(test)]
@@ -296,6 +415,7 @@ mod tests {
                 stalled: false,
                 ratio_lcp: 1.5,
                 ratio_compresso: 1.8,
+                metrics: MetricsReport::default(),
             },
             PerfRow {
                 workload: "stalled".into(),
@@ -308,9 +428,13 @@ mod tests {
                 stalled: true,
                 ratio_lcp: 1.0,
                 ratio_compresso: 1.0,
+                metrics: MetricsReport::default(),
             },
         ];
         let s = summarize(&rows);
-        assert!((s.overall.2 - 2.0).abs() < 1e-9, "stalled row must be excluded");
+        assert!(
+            (s.overall.2 - 2.0).abs() < 1e-9,
+            "stalled row must be excluded"
+        );
     }
 }

@@ -1,12 +1,15 @@
 //! Cycle-based simulation runners: one core or a 4-core mix, against any
 //! evaluated system.
 
-use compresso_cache_sim::{run_multicore, Core, CoreParams, Hierarchy, TraceOp};
+use compresso_cache_sim::{
+    run_multicore_instrumented, Backend, Core, CoreParams, Hierarchy, TraceOp,
+};
+use compresso_core::DeviceStats;
 use compresso_core::{
     CompressoConfig, CompressoDevice, LcpDevice, MemoryDevice, UncompressedDevice,
 };
 use compresso_mem_sim::MemStats;
-use compresso_core::DeviceStats;
+use compresso_telemetry::{EpochRecorder, LatencyHistogram, MetricsReport, Registry};
 use compresso_workloads::{
     offset_trace, require_benchmark, BenchmarkProfile, CombinedWorld, DataWorld, TraceGenerator,
     UnknownBenchmark,
@@ -88,6 +91,10 @@ pub struct RunResult {
     pub dram: MemStats,
     /// Compression ratio at end of run.
     pub ratio: f64,
+    /// Full metric bundle: final registry snapshot plus the epoch
+    /// series (empty unless an epoch length was requested).
+    #[serde(skip)]
+    pub metrics: MetricsReport,
 }
 
 impl RunResult {
@@ -97,24 +104,83 @@ impl RunResult {
     }
 }
 
+/// Wraps a device with end-to-end fill/writeback latency histograms and
+/// an [`EpochRecorder`] driven by simulated core cycles — wall-clock
+/// never enters, so the recorded series is bit-identical across
+/// `--jobs` settings.
+struct InstrumentedBackend<B> {
+    inner: B,
+    fill_latency: LatencyHistogram,
+    writeback_latency: LatencyHistogram,
+    recorder: EpochRecorder,
+}
+
+impl<B: Backend> InstrumentedBackend<B> {
+    fn new(inner: B, registry: &Registry, epoch: u64) -> Self {
+        let fill_latency = LatencyHistogram::cycles();
+        let writeback_latency = LatencyHistogram::cycles();
+        registry.register_histogram("backend.fill.latency", &fill_latency);
+        registry.register_histogram("backend.writeback.latency", &writeback_latency);
+        Self {
+            inner,
+            fill_latency,
+            writeback_latency,
+            recorder: EpochRecorder::new(registry.clone(), epoch),
+        }
+    }
+}
+
+impl<B: Backend> Backend for InstrumentedBackend<B> {
+    fn fill(&mut self, now: u64, line_addr: u64) -> u64 {
+        self.recorder.observe(now);
+        let done = self.inner.fill(now, line_addr);
+        self.fill_latency.record(done.saturating_sub(now));
+        done
+    }
+
+    fn writeback(&mut self, now: u64, line_addr: u64) -> u64 {
+        self.recorder.observe(now);
+        let done = self.inner.writeback(now, line_addr);
+        self.writeback_latency.record(done.saturating_sub(now));
+        done
+    }
+}
+
 /// Runs one benchmark on one core (Tab. III single-core platform).
 pub fn run_single(profile: &BenchmarkProfile, system: &SystemKind, mem_ops: usize) -> RunResult {
+    run_single_with(profile, system, mem_ops, 0)
+}
+
+/// As [`run_single`], recording an epoch snapshot every `epoch` core
+/// cycles into the result's [`MetricsReport`] (`0` disables the
+/// series; the final snapshot is always captured).
+pub fn run_single_with(
+    profile: &BenchmarkProfile,
+    system: &SystemKind,
+    mem_ops: usize,
+    epoch: u64,
+) -> RunResult {
     let world = DataWorld::new(profile);
     let mut generator = TraceGenerator::new(profile);
     let trace = generator.generate(&world, mem_ops);
     let mut device = system.build(CombinedWorld::new(vec![world]));
+    let registry = device.metrics().clone();
 
     let mut core = Core::new(CoreParams::paper_default());
     let mut hierarchy = Hierarchy::single_core();
-    let cycles = core.run(trace, &mut hierarchy, &mut device);
+    hierarchy.register_metrics(&registry, "cache");
+    let mut backend = InstrumentedBackend::new(&mut device, &registry, epoch);
+    let cycles = core.run(trace, &mut hierarchy, &mut backend);
+    let metrics = MetricsReport::from_parts(registry.snapshot(), backend.recorder);
     RunResult {
         system: system.label().to_string(),
         workload: profile.name.to_string(),
         cycles,
         instructions: core.stats().instructions,
-        device: *device.device_stats(),
-        dram: *device.dram_stats(),
+        device: device.device_stats(),
+        dram: device.dram_stats(),
         ratio: device.compression_ratio(),
+        metrics,
     }
 }
 
@@ -130,6 +196,21 @@ pub fn run_mix(
     system: &SystemKind,
     mem_ops: usize,
 ) -> Result<RunResult, UnknownBenchmark> {
+    run_mix_with(name, benchmarks, system, mem_ops, 0)
+}
+
+/// As [`run_mix`] with an epoch length for the metrics time-series.
+///
+/// # Errors
+///
+/// Returns [`UnknownBenchmark`] if any benchmark name is unknown.
+pub fn run_mix_with(
+    name: &str,
+    benchmarks: [&str; 4],
+    system: &SystemKind,
+    mem_ops: usize,
+    epoch: u64,
+) -> Result<RunResult, UnknownBenchmark> {
     let mut worlds = Vec::new();
     let mut traces: Vec<Vec<TraceOp>> = Vec::new();
     for (core, bench) in benchmarks.iter().enumerate() {
@@ -142,15 +223,20 @@ pub fn run_mix(
         traces.push(trace);
     }
     let mut device = system.build(CombinedWorld::new(worlds));
-    let result = run_multicore(traces, CoreParams::paper_default(), &mut device);
+    let registry = device.metrics().clone();
+    let mut backend = InstrumentedBackend::new(&mut device, &registry, epoch);
+    let result =
+        run_multicore_instrumented(traces, CoreParams::paper_default(), &mut backend, &registry);
+    let metrics = MetricsReport::from_parts(registry.snapshot(), backend.recorder);
     Ok(RunResult {
         system: system.label().to_string(),
         workload: name.to_string(),
         cycles: result.max_cycles(),
         instructions: result.core_stats.iter().map(|s| s.instructions).sum(),
-        device: *device.device_stats(),
-        dram: *device.dram_stats(),
+        device: device.device_stats(),
+        dram: device.dram_stats(),
         ratio: device.compression_ratio(),
+        metrics,
     })
 }
 
@@ -208,7 +294,10 @@ mod tests {
         assert_eq!(err.name, "not-a-benchmark");
         let msg = err.to_string();
         assert!(msg.contains("not-a-benchmark"));
-        assert!(msg.contains("perlbench"), "message lists valid names: {msg}");
+        assert!(
+            msg.contains("perlbench"),
+            "message lists valid names: {msg}"
+        );
         assert!(msg.contains("Graph500"), "message lists valid names: {msg}");
     }
 

@@ -24,7 +24,7 @@
 //! `COMPRESSO_JOBS` environment variable, or the machine's available
 //! parallelism, in that order of precedence.
 
-use crate::runner::{run_mix, run_single, RunResult, SystemKind};
+use crate::runner::{run_mix_with, run_single_with, RunResult, SystemKind};
 use compresso_workloads::{require_benchmark, UnknownBenchmark};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -50,12 +50,20 @@ pub struct SweepOptions {
 impl SweepOptions {
     /// One worker, no progress output — the library/test default.
     pub fn serial() -> Self {
-        Self { jobs: 1, progress: false, panic_label: None }
+        Self {
+            jobs: 1,
+            progress: false,
+            panic_label: None,
+        }
     }
 
     /// A fixed worker count, no progress output.
     pub fn with_jobs(jobs: usize) -> Self {
-        Self { jobs, progress: false, panic_label: None }
+        Self {
+            jobs,
+            progress: false,
+            panic_label: None,
+        }
     }
 
     /// Worker count from `COMPRESSO_JOBS`, else available parallelism.
@@ -65,9 +73,15 @@ impl SweepOptions {
             .and_then(|v| v.parse::<usize>().ok())
             .filter(|&j| j > 0)
             .unwrap_or_else(|| {
-                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
             });
-        Self { jobs, progress: false, panic_label: None }
+        Self {
+            jobs,
+            progress: false,
+            panic_label: None,
+        }
     }
 
     /// Binary entry point: `--jobs N` overrides `COMPRESSO_JOBS`, which
@@ -118,7 +132,11 @@ impl<T, E: std::fmt::Display> CellOutcome<Result<T, E>> {
             Ok(Err(e)) => Err(CellError::Failed(e.to_string())),
             Err(e) => Err(e),
         };
-        CellOutcome { label: self.label, result, millis: self.millis }
+        CellOutcome {
+            label: self.label,
+            result,
+            millis: self.millis,
+        }
     }
 }
 
@@ -159,11 +177,19 @@ fn exec_cell<I, T>(
         work(item)
     }))
     .map_err(|payload| CellError::Panicked(panic_message(payload.as_ref())));
-    CellOutcome { label: label.to_string(), result, millis: start.elapsed().as_millis() }
+    CellOutcome {
+        label: label.to_string(),
+        result,
+        millis: start.elapsed().as_millis(),
+    }
 }
 
 fn report_progress<T>(outcome: &CellOutcome<T>, done: usize, total: usize, worker: usize) {
-    let status = if outcome.result.is_ok() { "" } else { "  FAILED" };
+    let status = if outcome.result.is_ok() {
+        ""
+    } else {
+        "  FAILED"
+    };
     eprintln!(
         "[sweep {done:>3}/{total}] {label:<32} {millis:>6} ms  (worker {worker}){status}",
         label = outcome.label,
@@ -295,12 +321,26 @@ pub struct SweepCell {
     pub system: SystemKind,
     /// Memory operations in the generated trace (per core for mixes).
     pub mem_ops: usize,
+    /// Epoch length in core cycles for the metrics time-series
+    /// (0 = final snapshot only).
+    pub epoch: u64,
 }
 
 impl SweepCell {
     /// A single-benchmark cell.
     pub fn single(benchmark: &str, system: SystemKind, mem_ops: usize) -> Self {
-        Self { workload: Workload::Single(benchmark.to_string()), system, mem_ops }
+        Self {
+            workload: Workload::Single(benchmark.to_string()),
+            system,
+            mem_ops,
+            epoch: 0,
+        }
+    }
+
+    /// Sets the epoch length for the cell's metrics time-series.
+    pub fn with_epoch(mut self, epoch: u64) -> Self {
+        self.epoch = epoch;
+        self
     }
 
     /// A 4-core mix cell.
@@ -312,6 +352,7 @@ impl SweepCell {
             },
             system,
             mem_ops,
+            epoch: 0,
         }
     }
 
@@ -330,11 +371,16 @@ impl SweepCell {
         match &self.workload {
             Workload::Single(name) => {
                 let profile = require_benchmark(name)?;
-                Ok(run_single(&profile, &self.system, self.mem_ops))
+                Ok(run_single_with(
+                    &profile,
+                    &self.system,
+                    self.mem_ops,
+                    self.epoch,
+                ))
             }
             Workload::Mix { name, members } => {
                 let members: [&str; 4] = [&members[0], &members[1], &members[2], &members[3]];
-                run_mix(name, members, &self.system, self.mem_ops)
+                run_mix_with(name, members, &self.system, self.mem_ops, self.epoch)
             }
         }
     }
@@ -378,11 +424,12 @@ mod tests {
 
     #[test]
     fn more_jobs_than_cells_preserves_order() {
-        let cells: Vec<(String, usize)> =
-            (0..3).map(|i| (format!("cell{i}"), i)).collect();
+        let cells: Vec<(String, usize)> = (0..3).map(|i| (format!("cell{i}"), i)).collect();
         let outcomes = run_cells(cells, |i| i * 10, &quiet(8));
-        let values: Vec<usize> =
-            outcomes.iter().map(|o| *o.result.as_ref().expect("ok")).collect();
+        let values: Vec<usize> = outcomes
+            .iter()
+            .map(|o| *o.result.as_ref().expect("ok"))
+            .collect();
         assert_eq!(values, vec![0, 10, 20]);
         let labels: Vec<&str> = outcomes.iter().map(|o| o.label.as_str()).collect();
         assert_eq!(labels, vec!["cell0", "cell1", "cell2"]);
@@ -401,8 +448,10 @@ mod tests {
             },
             &quiet(8),
         );
-        let values: Vec<u64> =
-            outcomes.iter().map(|o| *o.result.as_ref().expect("ok")).collect();
+        let values: Vec<u64> = outcomes
+            .iter()
+            .map(|o| *o.result.as_ref().expect("ok"))
+            .collect();
         assert_eq!(values, (0..64).map(|i| i * 2).collect::<Vec<_>>());
     }
 
@@ -471,8 +520,10 @@ mod tests {
 
     #[test]
     fn jobs_env_and_flag_precedence() {
-        let args: Vec<String> =
-            ["prog", "--jobs", "3"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["prog", "--jobs", "3"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let opts = SweepOptions::from_args(&args);
         assert_eq!(opts.jobs, 3);
         assert!(opts.progress);

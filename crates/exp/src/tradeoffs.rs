@@ -5,6 +5,7 @@ use crate::runner::SystemKind;
 use crate::sweep::{run_cells, run_grid, successes, SweepCell, SweepOptions};
 use compresso_compression::{BinSet, Bpc, Compressor};
 use compresso_core::{CompressoConfig, PageAllocation};
+use compresso_telemetry::CellMetrics;
 use compresso_workloads::{all_benchmarks, BenchmarkProfile, DataWorld, PAGE_BYTES};
 use serde::Serialize;
 
@@ -70,14 +71,28 @@ fn static_ratio(
     ratios.iter().sum::<f64>() / ratios.len().max(1) as f64
 }
 
-fn overflow_totals(label: &str, cfg: &CompressoConfig, ops: usize, opts: &SweepOptions) -> (u64, u64) {
+fn overflow_totals(
+    label: &str,
+    cfg: &CompressoConfig,
+    ops: usize,
+    epoch: u64,
+    opts: &SweepOptions,
+    metrics: &mut Vec<CellMetrics>,
+) -> (u64, u64) {
     let cells: Vec<SweepCell> = OVERFLOW_BENCHMARKS
         .iter()
         .map(|name| {
-            SweepCell::single(name, SystemKind::custom(format!("{label}/{name}"), cfg.clone()), ops)
+            SweepCell::single(
+                name,
+                SystemKind::custom(format!("{label}/{name}"), cfg.clone()),
+                ops,
+            )
+            .with_epoch(epoch)
         })
         .collect();
-    let runs = successes(run_grid(cells, opts));
+    let outcomes = run_grid(cells, opts);
+    metrics.extend(crate::metrics::runs_to_cells(&outcomes));
+    let runs = successes(outcomes);
     (
         runs.iter().map(|r| r.device.line_overflows).sum(),
         runs.iter().map(|r| r.device.page_overflows).sum(),
@@ -86,14 +101,30 @@ fn overflow_totals(label: &str, cfg: &CompressoConfig, ops: usize, opts: &SweepO
 
 /// Line-bin trade-off: 4 vs 8 bins (ratio up, overflows up).
 pub fn line_bin_tradeoff(max_pages: usize, ops: usize, opts: &SweepOptions) -> Vec<TradeoffRow> {
-    let configs = [("4-line-bins", BinSet::aligned4()), ("8-line-bins", BinSet::eight())];
-    configs
+    line_bin_tradeoff_with(max_pages, ops, 0, opts).0
+}
+
+/// As [`line_bin_tradeoff`] with per-cell metric export of the overflow
+/// cycle runs.
+pub fn line_bin_tradeoff_with(
+    max_pages: usize,
+    ops: usize,
+    epoch: u64,
+    opts: &SweepOptions,
+) -> (Vec<TradeoffRow>, Vec<CellMetrics>) {
+    let configs = [
+        ("4-line-bins", BinSet::aligned4()),
+        ("8-line-bins", BinSet::eight()),
+    ];
+    let mut metrics = Vec::new();
+    let rows = configs
         .iter()
         .map(|(label, bins)| {
             let avg_ratio = static_ratio(bins, PageAllocation::Chunks512, max_pages, opts);
             let mut cfg = CompressoConfig::compresso();
             cfg.bins = bins.clone();
-            let (line_overflows, page_overflows) = overflow_totals(label, &cfg, ops, opts);
+            let (line_overflows, page_overflows) =
+                overflow_totals(label, &cfg, ops, epoch, opts, &mut metrics);
             TradeoffRow {
                 config: label.to_string(),
                 avg_ratio,
@@ -101,16 +132,28 @@ pub fn line_bin_tradeoff(max_pages: usize, ops: usize, opts: &SweepOptions) -> V
                 page_overflows,
             }
         })
-        .collect()
+        .collect();
+    (rows, metrics)
 }
 
 /// Page-size trade-off: 8 incremental sizes vs 4 variable sizes.
 pub fn page_size_tradeoff(max_pages: usize, ops: usize, opts: &SweepOptions) -> Vec<TradeoffRow> {
+    page_size_tradeoff_with(max_pages, ops, 0, opts).0
+}
+
+/// As [`page_size_tradeoff`] with per-cell metric export.
+pub fn page_size_tradeoff_with(
+    max_pages: usize,
+    ops: usize,
+    epoch: u64,
+    opts: &SweepOptions,
+) -> (Vec<TradeoffRow>, Vec<CellMetrics>) {
     let configs = [
         ("8-page-sizes", PageAllocation::Chunks512),
         ("4-page-sizes", PageAllocation::Variable4),
     ];
-    configs
+    let mut metrics = Vec::new();
+    let rows = configs
         .iter()
         .map(|(label, allocation)| {
             let avg_ratio = static_ratio(&BinSet::aligned4(), *allocation, max_pages, opts);
@@ -119,7 +162,8 @@ pub fn page_size_tradeoff(max_pages: usize, ops: usize, opts: &SweepOptions) -> 
             if *allocation == PageAllocation::Variable4 {
                 cfg.ir_expansion = false;
             }
-            let (line_overflows, page_overflows) = overflow_totals(label, &cfg, ops, opts);
+            let (line_overflows, page_overflows) =
+                overflow_totals(label, &cfg, ops, epoch, opts, &mut metrics);
             TradeoffRow {
                 config: label.to_string(),
                 avg_ratio,
@@ -127,7 +171,8 @@ pub fn page_size_tradeoff(max_pages: usize, ops: usize, opts: &SweepOptions) -> 
                 page_overflows,
             }
         })
-        .collect()
+        .collect();
+    (rows, metrics)
 }
 
 #[cfg(test)]
@@ -148,13 +193,20 @@ mod tests {
         let opts = SweepOptions::serial();
         let eight = static_ratio(&BinSet::eight(), PageAllocation::Chunks512, 60, &opts);
         let four = static_ratio(&BinSet::aligned4(), PageAllocation::Chunks512, 60, &opts);
-        assert!(eight >= four * 0.999, "8 bins ({eight:.2}) vs 4 ({four:.2})");
+        assert!(
+            eight >= four * 0.999,
+            "8 bins ({eight:.2}) vs 4 ({four:.2})"
+        );
     }
 
     #[test]
     fn static_ratio_is_jobs_invariant() {
-        let serial =
-            static_ratio(&BinSet::aligned4(), PageAllocation::Chunks512, 30, &SweepOptions::serial());
+        let serial = static_ratio(
+            &BinSet::aligned4(),
+            PageAllocation::Chunks512,
+            30,
+            &SweepOptions::serial(),
+        );
         let parallel = static_ratio(
             &BinSet::aligned4(),
             PageAllocation::Chunks512,

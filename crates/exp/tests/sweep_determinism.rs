@@ -43,12 +43,18 @@ fn grid() -> Vec<SweepCell> {
 
 #[test]
 fn grid_results_are_bit_identical_across_jobs_1_4_8() {
-    let serial: Vec<String> =
-        run_grid(grid(), &SweepOptions::with_jobs(1)).iter().map(fingerprint).collect();
-    let four: Vec<String> =
-        run_grid(grid(), &SweepOptions::with_jobs(4)).iter().map(fingerprint).collect();
-    let eight: Vec<String> =
-        run_grid(grid(), &SweepOptions::with_jobs(8)).iter().map(fingerprint).collect();
+    let serial: Vec<String> = run_grid(grid(), &SweepOptions::with_jobs(1))
+        .iter()
+        .map(fingerprint)
+        .collect();
+    let four: Vec<String> = run_grid(grid(), &SweepOptions::with_jobs(4))
+        .iter()
+        .map(fingerprint)
+        .collect();
+    let eight: Vec<String> = run_grid(grid(), &SweepOptions::with_jobs(8))
+        .iter()
+        .map(fingerprint)
+        .collect();
     assert_eq!(serial, four, "jobs=4 must be bit-identical to serial");
     assert_eq!(serial, eight, "jobs=8 must be bit-identical to serial");
 }
@@ -84,9 +90,19 @@ fn fig2_sweep_is_jobs_invariant() {
     for ((s, p4), p8) in serial.iter().zip(&four).zip(&eight) {
         for (a, b) in [(s, p4), (s, p8)] {
             assert_eq!(a.benchmark, b.benchmark);
-            assert_eq!(a.bpc_linepack.to_bits(), b.bpc_linepack.to_bits(), "{}", a.benchmark);
+            assert_eq!(
+                a.bpc_linepack.to_bits(),
+                b.bpc_linepack.to_bits(),
+                "{}",
+                a.benchmark
+            );
             assert_eq!(a.bpc_lcp.to_bits(), b.bpc_lcp.to_bits(), "{}", a.benchmark);
-            assert_eq!(a.bdi_linepack.to_bits(), b.bdi_linepack.to_bits(), "{}", a.benchmark);
+            assert_eq!(
+                a.bdi_linepack.to_bits(),
+                b.bdi_linepack.to_bits(),
+                "{}",
+                a.benchmark
+            );
             assert_eq!(a.bdi_lcp.to_bits(), b.bdi_lcp.to_bits(), "{}", a.benchmark);
         }
     }
@@ -124,5 +140,8 @@ fn perf_rows_are_jobs_invariant() {
         })
         .collect()
     };
-    assert_eq!(row_bits(&SweepOptions::with_jobs(1)), row_bits(&SweepOptions::with_jobs(4)));
+    assert_eq!(
+        row_bits(&SweepOptions::with_jobs(1)),
+        row_bits(&SweepOptions::with_jobs(4))
+    );
 }

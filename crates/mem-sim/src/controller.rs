@@ -2,6 +2,7 @@
 
 use crate::bank::{Bank, RowBufferOutcome};
 use crate::timing::MemConfig;
+use compresso_telemetry::{Counter, LatencyHistogram, Registry};
 
 /// Outcome of a single 64 B access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +43,43 @@ pub struct MemStats {
     pub busy_cycles: u64,
 }
 
+/// Live counter handles behind [`MemStats`]; clones share storage so
+/// the registry observes every update the controller makes.
+#[derive(Debug, Clone, Default)]
+struct MemEvents {
+    reads: Counter,
+    writes: Counter,
+    row_hits: Counter,
+    row_closed: Counter,
+    row_conflicts: Counter,
+    activations: Counter,
+    busy_cycles: Counter,
+}
+
+impl MemEvents {
+    fn snapshot(&self) -> MemStats {
+        MemStats {
+            reads: self.reads.get(),
+            writes: self.writes.get(),
+            row_hits: self.row_hits.get(),
+            row_closed: self.row_closed.get(),
+            row_conflicts: self.row_conflicts.get(),
+            activations: self.activations.get(),
+            busy_cycles: self.busy_cycles.get(),
+        }
+    }
+
+    fn reset(&self) {
+        self.reads.reset();
+        self.writes.reset();
+        self.row_hits.reset();
+        self.row_closed.reset();
+        self.row_conflicts.reset();
+        self.activations.reset();
+        self.busy_cycles.reset();
+    }
+}
+
 impl MemStats {
     /// Total accesses (reads + writes).
     pub fn accesses(&self) -> u64 {
@@ -71,14 +109,27 @@ pub struct MainMemory {
     bus_free_at: u64,
     /// Pending buffered writes: completion times on the bus.
     write_queue: Vec<u64>,
-    stats: MemStats,
+    stats: MemEvents,
+    /// Per-bank end-to-end access-latency distributions (queue wait +
+    /// service), in core cycles.
+    bank_latency: Vec<LatencyHistogram>,
 }
 
 impl MainMemory {
     /// Creates a memory from `config`.
     pub fn new(config: MemConfig) -> Self {
-        let banks = (0..config.banks).map(|_| Bank::new()).collect();
-        Self { config, banks, bus_free_at: 0, write_queue: Vec::new(), stats: MemStats::default() }
+        let banks: Vec<Bank> = (0..config.banks).map(|_| Bank::new()).collect();
+        let bank_latency = (0..config.banks)
+            .map(|_| LatencyHistogram::cycles())
+            .collect();
+        Self {
+            config,
+            banks,
+            bus_free_at: 0,
+            write_queue: Vec::new(),
+            stats: MemEvents::default(),
+            bank_latency,
+        }
     }
 
     /// The configuration this memory was built with.
@@ -86,14 +137,46 @@ impl MainMemory {
         &self.config
     }
 
-    /// Accumulated statistics.
-    pub fn stats(&self) -> &MemStats {
-        &self.stats
+    /// Snapshot of the accumulated statistics.
+    pub fn stats(&self) -> MemStats {
+        self.stats.snapshot()
     }
 
-    /// Resets statistics (bank state is preserved).
+    /// Resets statistics and latency histograms (bank state is
+    /// preserved).
     pub fn reset_stats(&mut self) {
-        self.stats = MemStats::default();
+        self.stats.reset();
+        for h in &self.bank_latency {
+            h.reset();
+        }
+    }
+
+    /// Registers this controller's counters and per-bank latency
+    /// histograms under `prefix` (e.g. `dram` →
+    /// `dram.read.total`, `dram.bank03.latency`).
+    pub fn register_metrics(&self, registry: &Registry, prefix: &str) {
+        registry.register_counter(&format!("{prefix}.read.total"), &self.stats.reads);
+        registry.register_counter(&format!("{prefix}.write.total"), &self.stats.writes);
+        registry.register_counter(&format!("{prefix}.row_hit.total"), &self.stats.row_hits);
+        registry.register_counter(
+            &format!("{prefix}.row_closed.total"),
+            &self.stats.row_closed,
+        );
+        registry.register_counter(
+            &format!("{prefix}.row_conflict.total"),
+            &self.stats.row_conflicts,
+        );
+        registry.register_counter(
+            &format!("{prefix}.activation.total"),
+            &self.stats.activations,
+        );
+        registry.register_counter(
+            &format!("{prefix}.busy_cycles.total"),
+            &self.stats.busy_cycles,
+        );
+        for (i, hist) in self.bank_latency.iter().enumerate() {
+            registry.register_histogram(&format!("{prefix}.bank{i:02}.latency"), hist);
+        }
     }
 
     fn map(&self, addr: u64) -> (usize, u64) {
@@ -123,13 +206,20 @@ impl MainMemory {
             }
         };
         // Data bus occupancy: one burst per access.
-        let burst = self.config.to_core_cycles(self.config.timing.burst_cycles());
+        let burst = self
+            .config
+            .to_core_cycles(self.config.timing.burst_cycles());
         let earliest = now.max(self.bus_free_at.saturating_sub(service - burst));
         let start = self.banks[bank_idx].access(earliest, row, service);
         let complete = start + service;
         self.bus_free_at = self.bus_free_at.max(complete);
         self.stats.busy_cycles += service;
-        AccessResult { issued_at: now, complete_at: complete, row_outcome: outcome }
+        self.bank_latency[bank_idx].record(complete - now);
+        AccessResult {
+            issued_at: now,
+            complete_at: complete,
+            row_outcome: outcome,
+        }
     }
 
     /// Issues a 64 B read burst at core cycle `now`.
@@ -156,7 +246,11 @@ impl MainMemory {
             now
         };
         self.write_queue.push(result.complete_at);
-        AccessResult { issued_at: now, complete_at: accept_at.max(now), row_outcome: result.row_outcome }
+        AccessResult {
+            issued_at: now,
+            complete_at: accept_at.max(now),
+            row_outcome: result.row_outcome,
+        }
     }
 
     fn drain_writes(&mut self, now: u64) {
@@ -237,6 +331,23 @@ mod tests {
         assert!(m.stats().row_hit_rate() > 0.0);
         m.reset_stats();
         assert_eq!(m.stats().accesses(), 0);
+    }
+
+    #[test]
+    fn registered_metrics_track_the_controller() {
+        let mut m = mem();
+        let reg = Registry::new();
+        m.register_metrics(&reg, "dram");
+        let r = m.read(0, 0);
+        m.write(r.complete_at, 64);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("dram.read.total"), Some(1));
+        assert_eq!(snap.counter("dram.write.total"), Some(1));
+        let bank0 = snap
+            .histogram("dram.bank00.latency")
+            .expect("bank 0 histogram");
+        assert_eq!(bank0.count, 2, "both accesses map to bank 0");
+        assert!(bank0.p50() > 0);
     }
 
     #[test]

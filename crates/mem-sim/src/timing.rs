@@ -19,7 +19,13 @@ impl DramTiming {
     /// DDR4-2666 timings used throughout the paper:
     /// `BL=8, tCL=18, tRCD=18, tRP=18`.
     pub fn ddr4_2666() -> Self {
-        Self { t_cl: 18, t_rcd: 18, t_rp: 18, burst_length: 8, t_wr: 14 }
+        Self {
+            t_cl: 18,
+            t_rcd: 18,
+            t_rp: 18,
+            burst_length: 8,
+            t_wr: 14,
+        }
     }
 
     /// Data transfer time for one 64 B burst in DRAM cycles

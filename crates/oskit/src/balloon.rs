@@ -12,6 +12,7 @@
 
 use crate::vm::OsMemory;
 use compresso_core::FaultPlan;
+use compresso_telemetry::{Counter, Gauge, Registry};
 
 /// The hardware side the balloon driver talks to. Implemented by
 /// `CompressoDevice` (and anything else that can drop page storage).
@@ -45,6 +46,17 @@ pub struct BalloonStats {
     pub retries: u64,
 }
 
+/// Live counter handles behind [`BalloonStats`]; a [`Registry`] holds
+/// clones of the same handles, so registered metrics track the driver.
+#[derive(Debug, Clone, Default)]
+struct BalloonEvents {
+    held_pages: Gauge,
+    inflates: Counter,
+    deflates: Counter,
+    refused_inflates: Counter,
+    retries: Counter,
+}
+
 /// Longest backoff window after consecutive refused inflates, in ticks
 /// (the window doubles per refusal: 1, 2, 4, 8, 8, ...).
 pub const MAX_BACKOFF_TICKS: u32 = 8;
@@ -59,7 +71,7 @@ pub struct BalloonDriver {
     /// Pages per inflate step.
     step: usize,
     held: Vec<u64>,
-    stats: BalloonStats,
+    stats: BalloonEvents,
     faults: Option<FaultPlan>,
     /// Ticks left before inflating may be retried.
     backoff_ticks: u32,
@@ -85,7 +97,7 @@ impl BalloonDriver {
             low_watermark,
             step: step.max(1),
             held: Vec::new(),
-            stats: BalloonStats::default(),
+            stats: BalloonEvents::default(),
             faults: None,
             backoff_ticks: 0,
             backoff_len: 1,
@@ -102,7 +114,27 @@ impl BalloonDriver {
 
     /// Statistics so far.
     pub fn stats(&self) -> BalloonStats {
-        BalloonStats { held_pages: self.held.len() as u64, ..self.stats }
+        BalloonStats {
+            held_pages: self.held.len() as u64,
+            inflates: self.stats.inflates.get(),
+            deflates: self.stats.deflates.get(),
+            refused_inflates: self.stats.refused_inflates.get(),
+            retries: self.stats.retries.get(),
+        }
+    }
+
+    /// Registers the driver's counters and held-page level under
+    /// `prefix` (e.g. `balloon` → `balloon.inflate.total`,
+    /// `balloon.held_pages`).
+    pub fn register_metrics(&self, registry: &Registry, prefix: &str) {
+        registry.register_gauge(&format!("{prefix}.held_pages"), &self.stats.held_pages);
+        registry.register_counter(&format!("{prefix}.inflate.total"), &self.stats.inflates);
+        registry.register_counter(&format!("{prefix}.deflate.total"), &self.stats.deflates);
+        registry.register_counter(
+            &format!("{prefix}.refused_inflate.total"),
+            &self.stats.refused_inflates,
+        );
+        registry.register_counter(&format!("{prefix}.retry.total"), &self.stats.retries);
     }
 
     /// One driver tick: inflate or deflate according to MPA pressure.
@@ -127,13 +159,22 @@ impl BalloonDriver {
             }
             // Inflate: demand pages from the OS; the OS reclaims free or
             // cold pages via its regular paging mechanism.
-            let refused = self.faults.as_mut().map(|f| f.balloon_refused()).unwrap_or(false);
-            let pages = if refused { Vec::new() } else { os.reclaim_pages(self.step) };
+            let refused = self
+                .faults
+                .as_mut()
+                .map(|f| f.balloon_refused())
+                .unwrap_or(false);
+            let pages = if refused {
+                Vec::new()
+            } else {
+                os.reclaim_pages(self.step)
+            };
             let n = pages.len();
             for page in pages {
                 hw.invalidate_page(page);
                 self.held.push(page);
             }
+            self.stats.held_pages.set(self.held.len() as i64);
             if n > 0 {
                 self.stats.inflates += 1;
                 self.pending_retry = false;
@@ -155,6 +196,7 @@ impl BalloonDriver {
                 os.return_page(page);
             }
             self.stats.deflates += 1;
+            self.stats.held_pages.set(self.held.len() as i64);
             n
         } else {
             0
@@ -174,7 +216,11 @@ mod tests {
 
     impl FakeHw {
         fn at(pressure: f64) -> Self {
-            Self { pressure, invalidated: Vec::new(), retries_seen: 0 }
+            Self {
+                pressure,
+                invalidated: Vec::new(),
+                retries_seen: 0,
+            }
         }
     }
 
@@ -259,9 +305,16 @@ mod tests {
         let s = b.stats();
         assert_eq!(s.inflates, 0);
         assert_eq!(s.held_pages, 0);
-        assert!(s.refused_inflates >= 5, "got {} refusals", s.refused_inflates);
+        assert!(
+            s.refused_inflates >= 5,
+            "got {} refusals",
+            s.refused_inflates
+        );
         assert!(s.retries >= 4, "got {} retries", s.retries);
-        assert_eq!(hw.retries_seen, s.retries, "every retry reaches the hardware");
+        assert_eq!(
+            hw.retries_seen, s.retries,
+            "every retry reaches the hardware"
+        );
         // Bounded backoff: even refusing forever, the driver keeps
         // retrying at least once per MAX_BACKOFF_TICKS + 1 ticks.
         assert!(s.refused_inflates >= 100 / (MAX_BACKOFF_TICKS as u64 + 1));

@@ -104,7 +104,11 @@ pub fn capacity_run(profile: &BenchmarkProfile, budget: &Budget, mem_ops: usize)
         fault_cycles += penalty;
         runtime += dwell_cost + penalty;
     }
-    CapacityResult { runtime_cycles: runtime, fault_cycles, paging: *paging.stats() }
+    CapacityResult {
+        runtime_cycles: runtime,
+        fault_cycles,
+        paging: *paging.stats(),
+    }
 }
 
 /// Relative performance of `budget` versus the constrained uncompressed
@@ -116,7 +120,11 @@ pub fn relative_performance(
     budget: &Budget,
     mem_ops: usize,
 ) -> f64 {
-    let baseline = capacity_run(profile, &Budget::constrained(fraction, profile.footprint_pages), mem_ops);
+    let baseline = capacity_run(
+        profile,
+        &Budget::constrained(fraction, profile.footprint_pages),
+        mem_ops,
+    );
     let system = capacity_run(profile, budget, mem_ops);
     baseline.runtime_cycles as f64 / system.runtime_cycles.max(1) as f64
 }
@@ -143,7 +151,10 @@ mod tests {
         let constrained = capacity_run(&p, &Budget::constrained(0.7, p.footprint_pages), OPS);
         let free = capacity_run(&p, &Budget::Unconstrained(0), OPS);
         let slowdown = constrained.runtime_cycles as f64 / free.runtime_cycles as f64;
-        assert!(slowdown < 1.15, "gamess should barely notice 70%: {slowdown:.2}");
+        assert!(
+            slowdown < 1.15,
+            "gamess should barely notice 70%: {slowdown:.2}"
+        );
         assert!(!constrained.stalled());
     }
 
@@ -182,18 +193,16 @@ mod tests {
             &Budget::compressed(0.7, p.footprint_pages, vec![1.8]),
             OPS,
         );
-        assert!(rel > 1.0, "compression must help xalancbmk at 70%: {rel:.2}");
+        assert!(
+            rel > 1.0,
+            "compression must help xalancbmk at 70%: {rel:.2}"
+        );
     }
 
     #[test]
     fn relative_performance_of_baseline_is_one() {
         let p = benchmark("povray").unwrap();
-        let rel = relative_performance(
-            &p,
-            0.7,
-            &Budget::constrained(0.7, p.footprint_pages),
-            OPS,
-        );
+        let rel = relative_performance(&p, 0.7, &Budget::constrained(0.7, p.footprint_pages), OPS);
         assert!((rel - 1.0).abs() < 1e-9);
     }
 

@@ -161,9 +161,8 @@ impl PagingSim {
         // recency order.
         let stamp = &self.stamp;
         let resident = &self.resident;
-        self.lru.retain(|&(page, s)| {
-            resident.contains(&page) && stamp.get(&page).copied() == Some(s)
-        });
+        self.lru
+            .retain(|&(page, s)| resident.contains(&page) && stamp.get(&page).copied() == Some(s));
     }
 }
 
@@ -222,7 +221,10 @@ mod tests {
                 penalty += p.access(page);
             }
         }
-        assert!(p.stats().fault_rate() > 0.5, "cyclic overflow must thrash LRU");
+        assert!(
+            p.stats().fault_rate() > 0.5,
+            "cyclic overflow must thrash LRU"
+        );
         assert!(penalty > 0);
     }
 

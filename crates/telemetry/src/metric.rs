@@ -1,0 +1,362 @@
+//! Shared-handle metric primitives: [`Counter`], [`Gauge`] and
+//! fixed-bucket [`LatencyHistogram`].
+//!
+//! Handles are cheap `Arc` clones around atomics: a component keeps one
+//! clone for the hot increment path and registers another clone into a
+//! [`crate::Registry`] under a stable name. All updates use relaxed
+//! ordering — metrics never synchronize simulator state, they only
+//! count it, and the sweep engine joins worker threads before reading.
+
+use std::ops::AddAssign;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Monotonic event counter.
+///
+/// `+=` is supported so struct fields that migrate from `u64` to
+/// `Counter` keep their `self.stats.field += 1` call sites unchanged.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the counter (used by `reset_stats` paths).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+impl AddAssign<u64> for Counter {
+    #[inline]
+    fn add_assign(&mut self, delta: u64) {
+        self.add(delta);
+    }
+}
+
+impl AddAssign<u64> for &Counter {
+    #[inline]
+    fn add_assign(&mut self, delta: u64) {
+        self.add(delta);
+    }
+}
+
+/// Point-in-time signed level (balloon held pages, allocator bytes).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    pub fn reset(&self) {
+        self.set(0);
+    }
+}
+
+/// Fixed-bucket latency histogram with deterministic integer-math
+/// percentiles.
+///
+/// Bucket `i` counts samples `v <= bounds[i]`; one implicit overflow
+/// bucket counts everything above the last bound. Percentiles are
+/// nearest-rank over bucket upper edges, so identical sample multisets
+/// always produce identical `p50/p95/p99` regardless of arrival order —
+/// the property the sweep-determinism suite relies on.
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    inner: Arc<HistInner>,
+}
+
+#[derive(Debug)]
+struct HistInner {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Histogram with explicit ascending bucket upper bounds.
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn with_bounds(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            inner: Arc::new(HistInner {
+                bounds: bounds.to_vec(),
+                buckets,
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Power-of-two bounds from 16 to 65536 — a good fit for core-cycle
+    /// latencies of a DDR4-2666 channel (row hit ≈ 100 cycles, deep
+    /// queueing in the thousands).
+    pub fn cycles() -> Self {
+        Self::with_bounds(&[
+            16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 65536,
+        ])
+    }
+
+    /// Linear byte-size bounds for compressed-line sizes (0..=64 bytes
+    /// in 8-byte steps).
+    pub fn line_bytes() -> Self {
+        Self::with_bounds(&[0, 8, 16, 24, 32, 40, 48, 56, 64])
+    }
+
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let idx = self.inner.bounds.partition_point(|&b| b < value);
+        self.inner.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.sum.fetch_add(value, Ordering::Relaxed);
+        self.inner.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    pub fn reset(&self) {
+        for b in &self.inner.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.inner.count.store(0, Ordering::Relaxed);
+        self.inner.sum.store(0, Ordering::Relaxed);
+        self.inner.max.store(0, Ordering::Relaxed);
+    }
+
+    /// Plain-data copy of the current distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.inner.bounds.clone(),
+            counts: self
+                .inner
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.inner.count.load(Ordering::Relaxed),
+            sum: self.inner.sum.load(Ordering::Relaxed),
+            max: self.inner.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data view of a [`LatencyHistogram`] at one instant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Ascending bucket upper bounds; `counts` has one extra overflow
+    /// bucket at the end.
+    pub bounds: Vec<u64>,
+    /// Per-bucket sample counts (`bounds.len() + 1` entries).
+    pub counts: Vec<u64>,
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all sample values.
+    pub sum: u64,
+    /// Largest sample recorded.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Nearest-rank percentile, reported as the upper edge of the
+    /// bucket holding the ranked sample (`max` for the overflow
+    /// bucket). `q` is in percent, e.g. `50.0`.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        // ceil(q/100 * count) with integer math: rank in 1..=count.
+        let rank = ((q * self.count as f64 / 100.0).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    self.max
+                };
+            }
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    pub fn p95(&self) -> u64 {
+        self.percentile(95.0)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
+
+    /// Accumulates another snapshot with identical bounds (used to
+    /// aggregate per-cell histograms into one bench summary). Snapshots
+    /// with different bucket layouts are ignored.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if self.bounds != other.bounds || self.counts.len() != other.counts.len() {
+            return;
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean sample value (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_add_assign_and_shared_handles() {
+        let mut a = Counter::new();
+        let b = a.clone();
+        a += 2;
+        b.inc();
+        assert_eq!(a.get(), 3);
+        assert_eq!(b.get(), 3);
+        a.reset();
+        assert_eq!(b.get(), 0);
+    }
+
+    #[test]
+    fn gauge_tracks_level() {
+        let g = Gauge::new();
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn histogram_buckets_on_upper_bounds() {
+        let h = LatencyHistogram::with_bounds(&[10, 20, 30]);
+        for v in [5, 10, 11, 20, 21, 30, 31, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // <=10: {5,10}; <=20: {11,20}; <=30: {21,30}; overflow: {31,1000}
+        assert_eq!(s.counts, vec![2, 2, 2, 2]);
+        assert_eq!(s.count, 8);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.sum, 5 + 10 + 11 + 20 + 21 + 30 + 31 + 1000);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let h = LatencyHistogram::with_bounds(&[1, 2, 3, 4, 5, 10]);
+        // 100 samples: 50× value 1, 45× value 3, 5× value 10.
+        for _ in 0..50 {
+            h.record(1);
+        }
+        for _ in 0..45 {
+            h.record(3);
+        }
+        for _ in 0..5 {
+            h.record(10);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.p50(), 1); // rank 50 falls in the first bucket
+        assert_eq!(s.percentile(51.0), 3);
+        assert_eq!(s.p95(), 3); // rank 95 = last of the 3s
+        assert_eq!(s.p99(), 10);
+        assert_eq!(s.percentile(100.0), 10);
+    }
+
+    #[test]
+    fn percentile_overflow_bucket_reports_max() {
+        let h = LatencyHistogram::with_bounds(&[10]);
+        h.record(500);
+        h.record(700);
+        // Both samples land in the overflow bucket, whose reported edge
+        // is the observed max.
+        assert_eq!(h.snapshot().p50(), 700);
+        assert_eq!(h.snapshot().p99(), 700);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let s = LatencyHistogram::cycles().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn percentile_order_independent() {
+        let a = LatencyHistogram::cycles();
+        let b = LatencyHistogram::cycles();
+        let vals = [100u64, 7, 900, 33, 33, 2048, 5, 100];
+        for &v in &vals {
+            a.record(v);
+        }
+        for &v in vals.iter().rev() {
+            b.record(v);
+        }
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_bounds_rejected() {
+        LatencyHistogram::with_bounds(&[10, 5]);
+    }
+}

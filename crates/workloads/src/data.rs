@@ -158,7 +158,12 @@ mod tests {
 
     #[test]
     fn zero_class_is_zero() {
-        assert!(compresso_compression::is_zero_line(&materialize(DataClass::Zero, 1, 2, 3)));
+        assert!(compresso_compression::is_zero_line(&materialize(
+            DataClass::Zero,
+            1,
+            2,
+            3
+        )));
     }
 
     #[test]
@@ -175,11 +180,17 @@ mod tests {
         let small = avg(DataClass::SmallInt);
         let float = avg(DataClass::Float);
         let random = avg(DataClass::Random);
-        assert!(delta < 10.0, "DeltaInt should be tiny under BPC, got {delta}");
+        assert!(
+            delta < 10.0,
+            "DeltaInt should be tiny under BPC, got {delta}"
+        );
         assert!(small < 34.0, "SmallInt should compress well, got {small}");
         // Noisy-mantissa doubles barely compress — the float-heavy
         // benchmarks' modest ratios come from their zero/int pages.
-        assert!(float > 50.0, "Float must be nearly incompressible, got {float}");
+        assert!(
+            float > 50.0,
+            "Float must be nearly incompressible, got {float}"
+        );
         assert!(random > 62.0, "Random must be incompressible, got {random}");
         assert!(delta < small && small < random);
     }
@@ -196,8 +207,14 @@ mod tests {
         };
         let ptr = avg(DataClass::Pointer);
         let float = avg(DataClass::Float);
-        assert!(ptr < 40.0, "pointer lines should compress under BDI, got {ptr}");
-        assert!(ptr < float, "BDI must prefer pointers ({ptr}) over floats ({float})");
+        assert!(
+            ptr < 40.0,
+            "pointer lines should compress under BDI, got {ptr}"
+        );
+        assert!(
+            ptr < float,
+            "BDI must prefer pointers ({ptr}) over floats ({float})"
+        );
     }
 
     #[test]
@@ -212,6 +229,9 @@ mod tests {
             bpc_total += bpc.compressed_size(&line);
             bdi_total += bdi.compressed_size(&line);
         }
-        assert!(bpc_total < bdi_total, "BPC {bpc_total} should beat BDI {bdi_total}");
+        assert!(
+            bpc_total < bdi_total,
+            "BPC {bpc_total} should beat BDI {bdi_total}"
+        );
     }
 }

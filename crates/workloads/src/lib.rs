@@ -33,8 +33,8 @@
 pub mod data;
 pub mod mixes;
 pub mod points;
-pub mod source;
 pub mod profile;
+pub mod source;
 pub mod trace;
 pub mod trace_io;
 pub mod world;
@@ -43,8 +43,8 @@ pub use data::DataClass;
 pub use mixes::{mix, MIXES};
 pub use points::{compresspoint, full_run, run_average_ratio, simpoint, Interval};
 pub use profile::{
-    all_benchmarks, benchmark, benchmark_names, require_benchmark, BenchmarkProfile,
-    CapacityClass, Evolution, PageSpec, PhaseShape, UnknownBenchmark,
+    all_benchmarks, benchmark, benchmark_names, require_benchmark, BenchmarkProfile, CapacityClass,
+    Evolution, PageSpec, PhaseShape, UnknownBenchmark,
 };
 pub use source::{offset_trace, CombinedWorld, LineSource, CORE_STRIDE};
 pub use trace::{trace_for, TraceGenerator};

@@ -31,7 +31,10 @@ mod tests {
         for (name, benchmarks) in MIXES {
             assert!(name.starts_with("mix"));
             for b in benchmarks {
-                assert!(benchmark(b).is_some(), "{name} references unknown benchmark {b}");
+                assert!(
+                    benchmark(b).is_some(),
+                    "{name} references unknown benchmark {b}"
+                );
             }
         }
     }

@@ -47,9 +47,7 @@ pub fn full_run(profile: &BenchmarkProfile, base_ratio: f64, n: usize) -> Vec<In
         .map(|i| {
             let t = i as f64 / n as f64;
             let (ratio, bbv_drift) = match profile.phase_shape {
-                PhaseShape::Flat => {
-                    (base_ratio * (1.0 + noise(seed, i as u64, 0.05)), 0.3)
-                }
+                PhaseShape::Flat => (base_ratio * (1.0 + noise(seed, i as u64, 0.05)), 0.3),
                 PhaseShape::BigSwings => {
                     // Long square-wave-ish swings between ~1x and ~13x
                     // (GemsFDTD in Fig. 9), while the BBV stays flat: the
@@ -87,7 +85,11 @@ pub fn full_run(profile: &BenchmarkProfile, base_ratio: f64, n: usize) -> Vec<In
 }
 
 fn bbv_distance(a: &[f64; 8], b: &[f64; 8]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
 }
 
 /// SimPoint-style selection: the interval whose BBV is closest to the
@@ -126,8 +128,14 @@ pub fn simpoint(intervals: &[Interval]) -> &Interval {
 /// Panics if `intervals` is empty.
 pub fn compresspoint(intervals: &[Interval]) -> &Interval {
     assert!(!intervals.is_empty(), "need at least one interval");
-    let max_ratio = intervals.iter().map(|i| i.compression_ratio).fold(1.0, f64::max);
-    let max_ovf = intervals.iter().map(|i| i.overflow_rate).fold(1e-9, f64::max);
+    let max_ratio = intervals
+        .iter()
+        .map(|i| i.compression_ratio)
+        .fold(1.0, f64::max);
+    let max_ovf = intervals
+        .iter()
+        .map(|i| i.overflow_rate)
+        .fold(1e-9, f64::max);
     let features: Vec<[f64; 11]> = intervals
         .iter()
         .map(|iv| {
@@ -149,7 +157,11 @@ pub fn compresspoint(intervals: &[Interval]) -> &Interval {
         *m /= features.len() as f64;
     }
     let dist = |f: &[f64; 11]| -> f64 {
-        f.iter().zip(&mean).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+        f.iter()
+            .zip(&mean)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
     };
     let best = features
         .iter()
@@ -181,8 +193,14 @@ mod tests {
         let sp = simpoint(&run).compression_ratio;
         let cp = compresspoint(&run).compression_ratio;
         let avg = run_average_ratio(&run);
-        assert!((sp - avg).abs() / avg < 0.15, "flat: simpoint {sp} vs avg {avg}");
-        assert!((cp - avg).abs() / avg < 0.15, "flat: compresspoint {cp} vs avg {avg}");
+        assert!(
+            (sp - avg).abs() / avg < 0.15,
+            "flat: simpoint {sp} vs avg {avg}"
+        );
+        assert!(
+            (cp - avg).abs() / avg < 0.15,
+            "flat: compresspoint {cp} vs avg {avg}"
+        );
     }
 
     #[test]
@@ -198,7 +216,10 @@ mod tests {
             cp_err < sp_err,
             "CompressPoint ({cp}, err {cp_err:.2}) must beat SimPoint ({sp}, err {sp_err:.2}) vs avg {avg}"
         );
-        assert!(sp_err > 0.3, "GemsFDTD SimPoint should be way off, err {sp_err:.2}");
+        assert!(
+            sp_err > 0.3,
+            "GemsFDTD SimPoint should be way off, err {sp_err:.2}"
+        );
     }
 
     #[test]
@@ -206,7 +227,10 @@ mod tests {
         let p = benchmark("GemsFDTD").unwrap();
         let run = full_run(&p, 1.2, 64);
         let max = run.iter().map(|i| i.compression_ratio).fold(0.0, f64::max);
-        let min = run.iter().map(|i| i.compression_ratio).fold(f64::MAX, f64::min);
+        let min = run
+            .iter()
+            .map(|i| i.compression_ratio)
+            .fold(f64::MAX, f64::min);
         assert!(max > 10.0, "GemsFDTD highs ~13 (got {max})");
         assert!(min < 2.0, "GemsFDTD lows ~1 (got {min})");
     }

@@ -26,8 +26,18 @@ pub struct PageSpec {
     pub weight: u16,
 }
 
-const fn spec(primary: DataClass, secondary: DataClass, secondary_pct: u8, weight: u16) -> PageSpec {
-    PageSpec { primary, secondary, secondary_pct, weight }
+const fn spec(
+    primary: DataClass,
+    secondary: DataClass,
+    secondary_pct: u8,
+    weight: u16,
+) -> PageSpec {
+    PageSpec {
+        primary,
+        secondary,
+        secondary_pct,
+        weight,
+    }
 }
 
 /// How writes evolve a page's data over time.
@@ -301,7 +311,9 @@ impl std::error::Error for UnknownBenchmark {}
 ///
 /// Returns [`UnknownBenchmark`] if `name` matches no profile.
 pub fn require_benchmark(name: &str) -> Result<BenchmarkProfile, UnknownBenchmark> {
-    benchmark(name).ok_or_else(|| UnknownBenchmark { name: name.to_string() })
+    benchmark(name).ok_or_else(|| UnknownBenchmark {
+        name: name.to_string(),
+    })
 }
 
 #[cfg(test)]
@@ -337,8 +349,15 @@ mod tests {
     #[test]
     fn probabilities_in_range() {
         for b in all_benchmarks() {
-            for p in [b.hot_fraction, b.hot_prob, b.write_fraction, b.stream_prob,
-                      b.degrading_fraction, b.improving_fraction, b.sequential_bias] {
+            for p in [
+                b.hot_fraction,
+                b.hot_prob,
+                b.write_fraction,
+                b.stream_prob,
+                b.degrading_fraction,
+                b.improving_fraction,
+                b.sequential_bias,
+            ] {
                 assert!((0.0..=1.0).contains(&p), "{}: {p} out of range", b.name);
             }
             assert!(b.footprint_pages > 0);
@@ -350,21 +369,33 @@ mod tests {
     fn paper_reported_classes() {
         // The three capacity-stalling, incompressible benchmarks (§VII-A).
         for name in ["mcf", "GemsFDTD", "lbm"] {
-            assert_eq!(benchmark(name).unwrap().capacity_class, CapacityClass::Stall);
+            assert_eq!(
+                benchmark(name).unwrap().capacity_class,
+                CapacityClass::Stall
+            );
         }
         // Insensitive ones (Fig. 10b discussion).
         for name in ["gamess", "h264ref", "bzip2"] {
-            assert_eq!(benchmark(name).unwrap().capacity_class, CapacityClass::Insensitive);
+            assert_eq!(
+                benchmark(name).unwrap().capacity_class,
+                CapacityClass::Insensitive
+            );
         }
         // Metadata-cache-hostile: footprints far beyond the 6 MB the
         // 96 KB metadata cache covers, with poor locality.
         for name in ["omnetpp", "Forestfire", "Pagerank", "Graph500"] {
             let b = benchmark(name).unwrap();
-            assert!(b.footprint_pages * 4096 > 6 << 20, "{name} footprint too small");
+            assert!(
+                b.footprint_pages * 4096 > 6 << 20,
+                "{name} footprint too small"
+            );
             assert!(b.sequential_bias < 0.2, "{name} must have poor locality");
         }
         // Fig. 9 phase shapes.
-        assert_eq!(benchmark("GemsFDTD").unwrap().phase_shape, PhaseShape::BigSwings);
+        assert_eq!(
+            benchmark("GemsFDTD").unwrap().phase_shape,
+            PhaseShape::BigSwings
+        );
         assert_eq!(benchmark("astar").unwrap().phase_shape, PhaseShape::Drift);
     }
 

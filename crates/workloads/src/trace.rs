@@ -153,7 +153,10 @@ mod tests {
     fn trace_contains_requested_mem_ops() {
         let p = benchmark("milc").unwrap();
         let (_, trace) = trace_for(&p, 1000);
-        let mem = trace.iter().filter(|op| !matches!(op, TraceOp::Compute(_))).count();
+        let mem = trace
+            .iter()
+            .filter(|op| !matches!(op, TraceOp::Compute(_)))
+            .count();
         assert_eq!(mem, 1000);
     }
 
@@ -161,8 +164,14 @@ mod tests {
     fn write_fraction_is_respected() {
         let p = benchmark("lbm").unwrap(); // write_fraction 0.40
         let (_, trace) = trace_for(&p, 20_000);
-        let writes = trace.iter().filter(|op| matches!(op, TraceOp::Write(_))).count();
-        let mems = trace.iter().filter(|op| !matches!(op, TraceOp::Compute(_))).count();
+        let writes = trace
+            .iter()
+            .filter(|op| matches!(op, TraceOp::Write(_)))
+            .count();
+        let mems = trace
+            .iter()
+            .filter(|op| !matches!(op, TraceOp::Compute(_)))
+            .count();
         let frac = writes as f64 / mems as f64;
         assert!((0.3..0.65).contains(&frac), "write fraction off: {frac}");
     }
@@ -207,7 +216,10 @@ mod tests {
                 last_line = u64::MAX;
             }
         }
-        assert!(best_run >= 32, "expected a streaming burst, best run {best_run}");
+        assert!(
+            best_run >= 32,
+            "expected a streaming burst, best run {best_run}"
+        );
         drop(world);
     }
 

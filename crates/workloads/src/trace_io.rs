@@ -84,7 +84,10 @@ pub fn read_trace<R: BufRead>(reader: R) -> Result<Vec<TraceOp>, ReadTraceError>
         if body.is_empty() {
             continue;
         }
-        let bad = || ReadTraceError::Parse { line: idx + 1, content: line.clone() };
+        let bad = || ReadTraceError::Parse {
+            line: idx + 1,
+            content: line.clone(),
+        };
         let (kind, value) = body.split_once(' ').ok_or_else(bad)?;
         let op = match kind {
             "C" => TraceOp::Compute(value.trim().parse().map_err(|_| bad())?),

@@ -69,7 +69,12 @@ impl DataWorld {
             };
             pages.push(PageState { spec, evolution });
         }
-        Self { seed: profile.seed, pages, versions: HashMap::new(), writebacks: 0 }
+        Self {
+            seed: profile.seed,
+            pages,
+            versions: HashMap::new(),
+            writebacks: 0,
+        }
     }
 
     /// Number of pages in the footprint.
@@ -125,7 +130,10 @@ impl DataWorld {
 
     /// Current write version of a line.
     pub fn version_of(&self, line_addr: u64) -> u32 {
-        self.versions.get(&self.line_of(line_addr)).copied().unwrap_or(0)
+        self.versions
+            .get(&self.line_of(line_addr))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Materializes the current bytes of the line at `line_addr`.
@@ -216,9 +224,14 @@ mod tests {
         let w = DataWorld::new(&p);
         let sample = 2000u64;
         let zeros = (0..sample)
-            .filter(|&l| is_zero_line(&w.line_data(l * 64 * 7 % (p.footprint_pages as u64 * PAGE_BYTES))))
+            .filter(|&l| {
+                is_zero_line(&w.line_data(l * 64 * 7 % (p.footprint_pages as u64 * PAGE_BYTES)))
+            })
             .count();
-        assert!(zeros as f64 / sample as f64 > 0.30, "zeusmp should be zero-rich, got {zeros}/{sample}");
+        assert!(
+            zeros as f64 / sample as f64 > 0.30,
+            "zeusmp should be zero-rich, got {zeros}/{sample}"
+        );
     }
 
     #[test]

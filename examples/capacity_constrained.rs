@@ -14,7 +14,10 @@ use compresso_workloads::{benchmark, full_run};
 fn main() {
     let names = ["xalancbmk", "gamess", "mcf"];
     println!("memory-capacity impact at 70% of footprint (paper §VI-A methodology)\n");
-    println!("{:<12} {:>12} {:>14} {:>14} {:>10}", "benchmark", "constrained", "+Compresso", "unconstrained", "verdict");
+    println!(
+        "{:<12} {:>12} {:>14} {:>14} {:>10}",
+        "benchmark", "constrained", "+Compresso", "unconstrained", "verdict"
+    );
 
     for name in names {
         let profile = benchmark(name).expect("paper benchmark");
@@ -25,12 +28,13 @@ fn main() {
         // then let the budget follow the benchmark's compressibility
         // phases anchored at that ratio — the paper's dynamic cgroup.
         let ratio = run_single(&profile, &SystemKind::Compresso, 10_000).ratio;
-        let ratios: Vec<f64> =
-            full_run(&profile, ratio, 16).iter().map(|i| i.compression_ratio).collect();
+        let ratios: Vec<f64> = full_run(&profile, ratio, 16)
+            .iter()
+            .map(|i| i.compression_ratio)
+            .collect();
 
         let constrained = capacity_run(&profile, &Budget::constrained(0.7, footprint), ops);
-        let compressed =
-            capacity_run(&profile, &Budget::compressed(0.7, footprint, ratios), ops);
+        let compressed = capacity_run(&profile, &Budget::compressed(0.7, footprint, ratios), ops);
         let unconstrained = capacity_run(&profile, &Budget::Unconstrained(0), ops);
 
         let rel = |r: &compresso_oskit::CapacityResult| {

@@ -31,7 +31,10 @@ fn main() {
             let compressed = algo.compress(&line);
             assert_eq!(algo.decompress(&compressed), line, "round-trip must hold");
             let bin = bins.quantize(compressed.size_bytes().min(LINE_SIZE));
-            print!("{:>12}", format!("{}B->{}", compressed.size_bytes(), bin.bytes));
+            print!(
+                "{:>12}",
+                format!("{}B->{}", compressed.size_bytes(), bin.bytes)
+            );
         }
         println!();
     }

@@ -11,7 +11,10 @@ use compresso_workloads::mix;
 
 fn main() {
     let benchmarks = mix("mix10").expect("Tab. IV defines mix10");
-    println!("mix10 = {:?} (paper: worst case for compression overhead)\n", benchmarks);
+    println!(
+        "mix10 = {:?} (paper: worst case for compression overhead)\n",
+        benchmarks
+    );
 
     let ops = 15_000;
     let mut base_cycles = None;

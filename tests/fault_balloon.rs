@@ -12,7 +12,10 @@ use compresso_workloads::{benchmark, DataWorld, PAGE_BYTES};
 fn refusal_plan(per_mille: u32, seed: u64) -> FaultPlan {
     FaultPlan::new(
         seed,
-        FaultConfig { balloon_refusal_per_mille: per_mille, ..FaultConfig::default() },
+        FaultConfig {
+            balloon_refusal_per_mille: per_mille,
+            ..FaultConfig::default()
+        },
     )
 }
 
@@ -45,9 +48,18 @@ fn refused_inflates_surface_in_device_stats() {
     let b = balloon.stats();
     let d = device.device_stats();
 
-    assert!(b.refused_inflates > 0, "the OS must refuse some inflates: {b:?}");
-    assert!(b.inflates > 0, "the driver must recover between refusals: {b:?}");
-    assert!(b.retries > 0, "refusals must be retried after backoff: {b:?}");
+    assert!(
+        b.refused_inflates > 0,
+        "the OS must refuse some inflates: {b:?}"
+    );
+    assert!(
+        b.inflates > 0,
+        "the driver must recover between refusals: {b:?}"
+    );
+    assert!(
+        b.retries > 0,
+        "refusals must be retried after backoff: {b:?}"
+    );
     assert_eq!(
         d.balloon_retries, b.retries,
         "every retry must reach the hardware via on_balloon_retry"
@@ -64,5 +76,9 @@ fn refusal_schedule_is_reproducible() {
     let (da, ba) = pressured_run(99);
     let (db, bb) = pressured_run(99);
     assert_eq!(ba.stats(), bb.stats(), "same seed, same balloon stats");
-    assert_eq!(da.device_stats(), db.device_stats(), "same seed, same device stats");
+    assert_eq!(
+        da.device_stats(),
+        db.device_stats(),
+        "same seed, same device stats"
+    );
 }

@@ -32,7 +32,10 @@ fn claim_lcp_loss_asymmetry() {
     let avg = fig2::average(&rows);
     let bpc_loss = 1.0 - avg.bpc_lcp / avg.bpc_linepack;
     let bdi_loss = 1.0 - avg.bdi_lcp / avg.bdi_linepack;
-    assert!(bpc_loss > bdi_loss, "BPC loss {bpc_loss:.3} vs BDI loss {bdi_loss:.3}");
+    assert!(
+        bpc_loss > bdi_loss,
+        "BPC loss {bpc_loss:.3} vs BDI loss {bdi_loss:.3}"
+    );
 }
 
 /// §IV-B1: the alignment-friendly bins {0,8,32,64} lose almost nothing in
@@ -68,7 +71,11 @@ fn claim_aligned_bins_cost_little_compression() {
 /// lines; legacy bins still split.
 #[test]
 fn claim_alignment_eliminates_splits() {
-    let mut meta = PageMeta { valid: true, page_bytes: 4096, ..PageMeta::invalid() };
+    let mut meta = PageMeta {
+        valid: true,
+        page_bytes: 4096,
+        ..PageMeta::invalid()
+    };
     for (i, b) in meta.line_bins.iter_mut().enumerate() {
         *b = ((i * 13) % 4) as u8;
     }
@@ -104,10 +111,15 @@ fn claim_more_page_sizes_compress_better() {
 fn claim_os_transparency_mechanisms() {
     let profile = benchmark("gcc").unwrap();
     let world = compresso_workloads::DataWorld::new(&profile);
-    let device =
-        compresso_core::CompressoDevice::new(CompressoConfig::compresso(), world);
-    assert!(device.mpa_pressure() >= 0.0, "pressure hook exists and is sane");
-    assert!(OS_PAGE_FAULT_CYCLES >= 1000, "the OS-aware baseline pays a trap cost");
+    let device = compresso_core::CompressoDevice::new(CompressoConfig::compresso(), world);
+    assert!(
+        device.mpa_pressure() >= 0.0,
+        "pressure hook exists and is sane"
+    );
+    assert!(
+        OS_PAGE_FAULT_CYCLES >= 1000,
+        "the OS-aware baseline pays a trap cost"
+    );
 }
 
 /// §VI-B / Fig. 9: CompressPoint represents compressibility better than
@@ -116,8 +128,7 @@ fn claim_os_transparency_mechanisms() {
 fn claim_compresspoint_beats_simpoint_on_gems() {
     let profile = benchmark("GemsFDTD").unwrap();
     let run = full_run(&profile, 1.2, 64);
-    let avg: f64 =
-        run.iter().map(|i| i.compression_ratio).sum::<f64>() / run.len() as f64;
+    let avg: f64 = run.iter().map(|i| i.compression_ratio).sum::<f64>() / run.len() as f64;
     let sp_err = (simpoint(&run).compression_ratio - avg).abs();
     let cp_err = (compresspoint(&run).compression_ratio - avg).abs();
     assert!(cp_err < sp_err);
@@ -147,7 +158,10 @@ fn claim_compresso_cycle_perf_beats_lcp() {
     }
     let lcp = geomean(&lcp_rels);
     let comp = geomean(&comp_rels);
-    assert!(comp > lcp, "Compresso ({comp:.3}) must beat LCP ({lcp:.3}) on cycles");
+    assert!(
+        comp > lcp,
+        "Compresso ({comp:.3}) must beat LCP ({lcp:.3}) on cycles"
+    );
 }
 
 /// §III: the metadata overhead is 1.6% of capacity (64 B per 4 KB page).

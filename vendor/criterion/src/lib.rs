@@ -83,12 +83,23 @@ pub struct Criterion;
 
 impl Criterion {
     /// Opens a named group of benchmarks.
-    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_, measurement::WallTime> {
-        BenchmarkGroup { criterion: self, name: name.into(), _measurement: Default::default() }
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            _measurement: Default::default(),
+        }
     }
 
     /// Runs one ungrouped benchmark.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
         let mut bencher = Bencher::default();
         f(&mut bencher);
         report(&name.into(), bencher.nanos_per_iter);
@@ -121,10 +132,17 @@ impl<M> BenchmarkGroup<'_, M> {
     }
 
     /// Runs one benchmark within the group.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
         let mut bencher = Bencher::default();
         f(&mut bencher);
-        report(&format!("{}/{}", self.name, name.into()), bencher.nanos_per_iter);
+        report(
+            &format!("{}/{}", self.name, name.into()),
+            bencher.nanos_per_iter,
+        );
         self
     }
 
@@ -175,7 +193,10 @@ mod tests {
     fn groups_run_their_benchmarks() {
         let mut c = Criterion::default();
         let mut group = c.benchmark_group("g");
-        group.sample_size(3).measurement_time(Duration::from_millis(1)).warm_up_time(Duration::from_millis(1));
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(1))
+            .warm_up_time(Duration::from_millis(1));
         let mut ran = false;
         group.bench_function("unit", |b| {
             ran = true;

@@ -134,7 +134,10 @@ pub trait Rng: RngCore {
     /// `true` with probability `numerator / denominator`.
     fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
         assert!(denominator > 0, "gen_ratio denominator must be nonzero");
-        assert!(numerator <= denominator, "gen_ratio numerator above denominator");
+        assert!(
+            numerator <= denominator,
+            "gen_ratio numerator above denominator"
+        );
         (self.next_u64() % denominator as u64) < numerator as u64
     }
 
