@@ -46,6 +46,26 @@ impl ChunkAllocator {
         }
     }
 
+    /// Rebuilds an allocator whose `owned` chunks are already in use —
+    /// the cold-boot recovery path, where ownership is reconstructed
+    /// from the journal rather than replayed through `alloc()` calls.
+    /// Free chunks are handed out lowest-first, as in [`Self::new`].
+    pub fn rebuild(capacity_bytes: u64, owned: &[u32]) -> Self {
+        let total = (capacity_bytes / CHUNK_BYTES as u64) as u32;
+        let owned_set: std::collections::HashSet<u32> = owned.iter().copied().collect();
+        let free: Vec<u32> = (0..total)
+            .rev()
+            .filter(|c| !owned_set.contains(c))
+            .collect();
+        let a = Self {
+            free,
+            total,
+            used_gauge: Gauge::new(),
+        };
+        a.used_gauge.set(a.used_bytes() as i64);
+        a
+    }
+
     /// Registers the allocator's in-use level under `prefix`
     /// (`{prefix}.used_bytes`).
     pub fn register_metrics(&self, registry: &Registry, prefix: &str) {
@@ -116,6 +136,51 @@ impl BuddyAllocator {
             used: 0,
             used_gauge: Gauge::new(),
         }
+    }
+
+    /// Rebuilds an allocator around blocks already owned (`(addr,
+    /// bytes)` pairs) — the cold-boot recovery path. The complement is
+    /// carved into maximal aligned free blocks, handed out lowest-first
+    /// per order, as the equivalent alloc/free history would leave them.
+    pub fn rebuild(capacity_bytes: u64, owned: &[(u64, u32)]) -> Self {
+        let blocks = capacity_bytes / 4096;
+        // 512 B granule occupancy bitmap.
+        let granules = (blocks * 8) as usize;
+        let mut busy = vec![false; granules];
+        let mut used = 0u64;
+        for &(addr, bytes) in owned {
+            let size = Self::round_up(bytes.max(1));
+            used += size as u64;
+            let first = (addr / 512) as usize;
+            let last = (first + (size / 512) as usize).min(granules);
+            busy[first..last].fill(true);
+        }
+        let mut free: [Vec<u64>; 4] = Default::default();
+        // Carve each 4 KB block top-down into maximal aligned free runs.
+        fn carve(busy: &[bool], first: usize, order: usize, free: &mut [Vec<u64>; 4]) {
+            let span = 1usize << order;
+            if busy[first..first + span].iter().all(|&b| !b) {
+                free[order].push(first as u64 * 512);
+            } else if order > 0 {
+                carve(busy, first, order - 1, free);
+                carve(busy, first + span / 2, order - 1, free);
+            }
+        }
+        for b in 0..blocks as usize {
+            carve(&busy, b * 8, 3, &mut free);
+        }
+        // `alloc` pops from the back: reverse so low addresses go first.
+        for list in free.iter_mut() {
+            list.reverse();
+        }
+        let a = Self {
+            free,
+            capacity: blocks * 4096,
+            used,
+            used_gauge: Gauge::new(),
+        };
+        a.used_gauge.set(a.used as i64);
+        a
     }
 
     /// Registers the allocator's in-use level under `prefix`
@@ -295,5 +360,59 @@ mod tests {
         let mut a = ChunkAllocator::new(4 * 512);
         assert_eq!(a.alloc().unwrap(), 0);
         assert_eq!(a.alloc().unwrap(), 1);
+    }
+
+    #[test]
+    fn chunk_rebuild_matches_equivalent_history() {
+        // Rebuild around owned chunks {1, 3}: a fresh allocator hands
+        // out 0, then 2, then 4 — exactly what alloc/free history
+        // reaching the same ownership would do next.
+        let mut a = ChunkAllocator::rebuild(6 * 512, &[1, 3]);
+        assert_eq!(a.used_chunks(), 2);
+        assert_eq!(a.used_bytes(), 1024);
+        assert_eq!(a.alloc().unwrap(), 0);
+        assert_eq!(a.alloc().unwrap(), 2);
+        assert_eq!(a.alloc().unwrap(), 4);
+        assert_eq!(a.alloc().unwrap(), 5);
+        assert_eq!(a.alloc(), Err(OutOfMpaSpace));
+    }
+
+    #[test]
+    fn chunk_rebuild_empty_equals_new() {
+        let mut rebuilt = ChunkAllocator::rebuild(4 * 512, &[]);
+        let mut fresh = ChunkAllocator::new(4 * 512);
+        for _ in 0..4 {
+            assert_eq!(rebuilt.alloc().unwrap(), fresh.alloc().unwrap());
+        }
+    }
+
+    #[test]
+    fn buddy_rebuild_reconstructs_free_structure() {
+        // Own one 512 B block at 0 and one 1 KB block at 0x1000 of an
+        // 8 KB arena.
+        let mut b = BuddyAllocator::rebuild(8192, &[(0, 512), (0x1000, 1024)]);
+        assert_eq!(b.used_bytes(), 512 + 1024);
+        // The complement must coalesce into maximal blocks: [512, 1024)
+        // as 512, [1024, 2048) as 1024, [2048, 4096) as 2048,
+        // [0x1400, 0x1800) as 1024, [0x1800, 0x2000) as 2048.
+        assert_eq!(b.alloc(2048).unwrap(), 2048);
+        assert_eq!(b.alloc(2048).unwrap(), 0x1800);
+        assert_eq!(b.alloc(1024).unwrap(), 1024);
+        assert_eq!(b.alloc(1024).unwrap(), 0x1400);
+        assert_eq!(b.alloc(512).unwrap(), 512);
+        assert_eq!(b.alloc(512), Err(CompressoError::OutOfMpaSpace));
+        // Freeing the rebuilt-owned blocks coalesces back to full blocks.
+        b.free(0, 512);
+        b.free(0x1000, 1024);
+        assert_eq!(b.used_bytes(), 8192 - 512 - 1024);
+    }
+
+    #[test]
+    fn buddy_rebuild_empty_equals_new() {
+        let mut rebuilt = BuddyAllocator::rebuild(8192, &[]);
+        let mut fresh = BuddyAllocator::new(8192);
+        assert_eq!(rebuilt.capacity_bytes(), fresh.capacity_bytes());
+        assert_eq!(rebuilt.alloc(4096).unwrap(), fresh.alloc(4096).unwrap());
+        assert_eq!(rebuilt.alloc(4096).unwrap(), fresh.alloc(4096).unwrap());
     }
 }

@@ -6,9 +6,13 @@ use crate::config::{CompressoConfig, PageAllocation};
 use crate::device::MemoryDevice;
 use crate::error::CompressoError;
 use crate::faultkit::{FaultPlan, FaultStats, MetadataFault};
+use crate::journal::{
+    self, AppendOutcome, DurabilityEvents, Journal, JournalRecord, PageImage, RecoveryReport,
+    ShadowModel,
+};
 use crate::mcache::MetadataCache;
 use crate::metadata::{LineLocation, PageMeta, CHUNK_BYTES, LINES_PER_PAGE, PAGE_BYTES};
-use crate::metadata_codec;
+use crate::metadata_codec::{self, CRC_OFFSET, PACKED_BYTES};
 use crate::predictor::OverflowPredictor;
 use crate::stats::{DeviceEvents, DeviceStats};
 use compresso_cache_sim::Backend;
@@ -16,7 +20,7 @@ use compresso_compression::{Bdi, Bpc, Compressor, Fpc, Line};
 use compresso_mem_sim::{MainMemory, MemConfig, MemStats};
 use compresso_telemetry::Registry;
 use compresso_workloads::LineSource;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// MPA region where metadata entries live (outside the chunk space).
 const METADATA_BASE: u64 = 1 << 40;
@@ -82,6 +86,20 @@ pub struct CompressoDevice {
     stats: DeviceEvents,
     registry: Registry,
     faults: Option<FaultPlan>,
+    // -------- crash-consistency layer (DESIGN.md §10) --------
+    /// Write-ahead journal; `Some` iff `cfg.durability.journaling`.
+    journal: Option<Journal>,
+    /// Durable metadata-region image (what a cold boot would read
+    /// before replaying the journal); rot lands here.
+    durable: BTreeMap<u64, [u8; PACKED_BYTES]>,
+    /// Last journal-committed ownership per page, for delta records.
+    committed: HashMap<u64, Vec<(u64, u32)>>,
+    /// Set when an armed crash fired: the journal is frozen and the
+    /// device stops mutating state (recovery trusts the journal only).
+    crashed: bool,
+    dur_events: DurabilityEvents,
+    next_scrub_at: u64,
+    scrub_cursor: u64,
 }
 
 /// One chunk allocation with bounded retry against an injected refusal.
@@ -161,18 +179,24 @@ impl CompressoDevice {
         world: impl LineSource + 'static,
         codec: Codec,
     ) -> Self {
+        Self::new_boxed(config, Box::new(world), codec)
+    }
+
+    fn new_boxed(config: CompressoConfig, world: Box<dyn LineSource>, codec: Codec) -> Self {
         let alloc = match config.allocation {
             PageAllocation::Chunks512 => {
                 Allocator::Chunks(ChunkAllocator::new(config.mpa_capacity))
             }
             PageAllocation::Variable4 => Allocator::Buddy(BuddyAllocator::new(config.mpa_capacity)),
         };
+        let journal = config.durability.journaling.then(Journal::new);
+        let next_scrub_at = config.durability.scrub_interval;
         let device = Self {
             mcache: MetadataCache::paper_default(config.mcache_half_entries),
             mem: MainMemory::new(MemConfig::ddr4_2666()),
             cfg: config,
             codec,
-            world: Box::new(world),
+            world,
             pages: HashMap::new(),
             alloc,
             buddy_base: HashMap::new(),
@@ -182,6 +206,13 @@ impl CompressoDevice {
             stats: DeviceEvents::new(),
             registry: Registry::new(),
             faults: None,
+            journal,
+            durable: BTreeMap::new(),
+            committed: HashMap::new(),
+            crashed: false,
+            dur_events: DurabilityEvents::new(),
+            next_scrub_at,
+            scrub_cursor: 0,
         };
         device.register_all_metrics();
         device
@@ -197,6 +228,9 @@ impl CompressoDevice {
         match &self.alloc {
             Allocator::Chunks(a) => a.register_metrics(&self.registry, "alloc"),
             Allocator::Buddy(a) => a.register_metrics(&self.registry, "alloc"),
+        }
+        if self.journal.is_some() {
+            self.dur_events.register_metrics(&self.registry);
         }
     }
 
@@ -244,8 +278,399 @@ impl CompressoDevice {
     /// hardware half of ballooning: the Compresso driver hands freed page
     /// numbers to the controller, which drops them from metadata.
     pub fn invalidate_page(&mut self, page: u64) {
+        if self.crashed {
+            return;
+        }
         if let Some(meta) = self.pages.remove(&page) {
             self.release_chunks(page, &meta);
+            self.commit_page_free(page);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Crash-consistency layer: journal commits, durable image, scrubber
+    // (DESIGN.md §10)
+    // ------------------------------------------------------------------
+
+    /// The MPA blocks `page` currently owns: one `(addr, bytes)` pair
+    /// per 512 B chunk (Chunks512) or one per buddy block (Variable4).
+    fn blocks_for(&self, page: u64, meta: &PageMeta) -> Vec<(u64, u32)> {
+        match self.cfg.allocation {
+            PageAllocation::Chunks512 => meta
+                .chunks
+                .iter()
+                .map(|&c| (ChunkAllocator::chunk_addr(c), CHUNK_BYTES))
+                .collect(),
+            PageAllocation::Variable4 => match self.buddy_base.get(&page) {
+                Some(&base) if meta.page_bytes > 0 => vec![(base, meta.page_bytes)],
+                _ => Vec::new(),
+            },
+        }
+    }
+
+    /// Appends records in order, stopping (and freezing the device) if
+    /// an armed crash tears one of them.
+    fn append_all(&mut self, recs: &[JournalRecord]) {
+        let Some(j) = self.journal.as_mut() else {
+            return;
+        };
+        for rec in recs {
+            match j.append(rec, &mut self.faults) {
+                AppendOutcome::Written => self.dur_events.journal_appends += 1,
+                AppendOutcome::Crashed => {
+                    self.dur_events.journal_torn += 1;
+                    self.stats.injected_faults += 1;
+                    self.crashed = true;
+                    return;
+                }
+                AppendOutcome::Frozen => return,
+            }
+        }
+    }
+
+    /// Journals the page's new committed state: ownership deltas against
+    /// the last committed view, then the packed entry as the commit
+    /// point; finally writes the durable metadata image (where injected
+    /// rot may land).
+    fn commit_meta(&mut self, page: u64) {
+        if self.journal.is_none() || self.crashed {
+            return;
+        }
+        let Some(meta) = self.pages.get(&page) else {
+            return;
+        };
+        let Ok(packed) = metadata_codec::try_encode(meta, &self.cfg.bins) else {
+            return;
+        };
+        let new_blocks = self.blocks_for(page, meta);
+        let old_blocks = self.committed.get(&page).cloned().unwrap_or_default();
+        let mut recs = Vec::new();
+        for &(addr, bytes) in old_blocks.iter().filter(|b| !new_blocks.contains(b)) {
+            recs.push(JournalRecord::ChunkFree { page, addr, bytes });
+        }
+        for &(addr, bytes) in new_blocks.iter().filter(|b| !old_blocks.contains(b)) {
+            recs.push(JournalRecord::ChunkAlloc { page, addr, bytes });
+        }
+        recs.push(JournalRecord::EntryUpdate { page, packed });
+        self.append_all(&recs);
+        if self.crashed {
+            return;
+        }
+        self.dur_events.journal_commits += 1;
+        self.durable.insert(page, packed);
+        self.apply_rot(page);
+        self.committed.insert(page, new_blocks);
+    }
+
+    /// Journals a page invalidation (commit point releasing all its
+    /// storage) and drops it from the durable image.
+    fn commit_page_free(&mut self, page: u64) {
+        if self.journal.is_none() || self.crashed {
+            return;
+        }
+        let was_committed = self.committed.remove(&page).is_some();
+        self.durable.remove(&page);
+        if was_committed {
+            self.append_all(&[JournalRecord::PageFree { page }]);
+            if !self.crashed {
+                self.dur_events.journal_commits += 1;
+            }
+        }
+    }
+
+    /// Journals a completed repack as one transaction: the deltas and
+    /// entry update sit inside a `RepackBegin`/`RepackCommit` bracket,
+    /// so a crash anywhere inside rolls the whole move back.
+    fn commit_repack(&mut self, page: u64) {
+        if self.journal.is_none() || self.crashed {
+            return;
+        }
+        self.append_all(&[JournalRecord::RepackBegin { page }]);
+        if self.crashed {
+            return;
+        }
+        self.commit_meta(page);
+        if self.crashed {
+            return;
+        }
+        self.append_all(&[JournalRecord::RepackCommit { page }]);
+    }
+
+    /// Injected media rot: one bit of the just-written durable entry
+    /// decays. The journal (protected storage) keeps the good copy.
+    fn apply_rot(&mut self, page: u64) {
+        if let Some(bit) = self.faults.as_mut().and_then(|f| f.durable_rot()) {
+            if let Some(img) = self.durable.get_mut(&page) {
+                img[bit / 8] ^= 1 << (bit % 8);
+                self.stats.injected_faults += 1;
+            }
+        }
+    }
+
+    /// Background scrubber (simulated time): every `scrub_interval`
+    /// cycles, CRC-verify the next `scrub_pages_per_pass` durable
+    /// entries; repair rotted ones from the journal's last committed
+    /// image, falling back to the uncompressed-degradation path when no
+    /// repair source exists.
+    fn maybe_scrub(&mut self, now: u64) {
+        let d = self.cfg.durability;
+        if self.journal.is_none() || d.scrub_interval == 0 || self.crashed {
+            return;
+        }
+        if now < self.next_scrub_at {
+            return;
+        }
+        self.next_scrub_at = now + d.scrub_interval;
+        self.dur_events.scrub_passes += 1;
+        let pages: Vec<u64> = self
+            .durable
+            .range(self.scrub_cursor..)
+            .map(|(&p, _)| p)
+            .chain(self.durable.range(..self.scrub_cursor).map(|(&p, _)| p))
+            .take(d.scrub_pages_per_pass)
+            .collect();
+        for page in pages {
+            self.dur_events.scrub_pages_scanned += 1;
+            self.scrub_cursor = page + 1;
+            let img = self.durable[&page];
+            let stored = u32::from_le_bytes(img[CRC_OFFSET..].try_into().expect("4 bytes"));
+            if metadata_codec::crc32(&img[..CRC_OFFSET]) == stored {
+                continue;
+            }
+            self.dur_events.scrub_crc_failures += 1;
+            self.stats.corruption_detected += 1;
+            let repair = self
+                .journal
+                .as_ref()
+                .and_then(|j| j.last_entry_image(page))
+                .copied();
+            match repair {
+                Some(good) => {
+                    self.durable.insert(page, good);
+                    self.dur_events.scrub_repairs += 1;
+                }
+                None => {
+                    // No committed image to repair from: degrade the
+                    // page via the PR 1 uncompressed-fallback path and
+                    // re-commit a fresh entry.
+                    self.dur_events.scrub_fallbacks += 1;
+                    self.corruption_fallback(now, page);
+                    self.commit_meta(page);
+                }
+            }
+        }
+    }
+
+    /// Raw bytes of the write-ahead journal (what survives a crash), if
+    /// journaling is enabled.
+    pub fn journal_bytes(&self) -> Option<&[u8]> {
+        self.journal.as_ref().map(|j| j.bytes())
+    }
+
+    /// Records fully appended to the journal so far.
+    pub fn journal_records(&self) -> u64 {
+        self.journal.as_ref().map_or(0, |j| j.records())
+    }
+
+    /// Whether an armed crash fired (the device is frozen; recover from
+    /// [`Self::journal_bytes`]).
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Packed images of every live page, ordered by page number — the
+    /// comparison format for shadow-model and determinism tests.
+    pub fn pages_snapshot(&self) -> BTreeMap<u64, [u8; PACKED_BYTES]> {
+        self.pages
+            .iter()
+            .filter_map(|(&p, m)| Some((p, metadata_codec::try_encode(m, &self.cfg.bins).ok()?)))
+            .collect()
+    }
+
+    /// Journal-committed block ownership, `addr → (page, bytes)`,
+    /// ordered by address.
+    pub fn owners_snapshot(&self) -> BTreeMap<u64, (u64, u32)> {
+        let mut owners = BTreeMap::new();
+        for (&page, blocks) in &self.committed {
+            for &(addr, bytes) in blocks {
+                owners.insert(addr, (page, bytes));
+            }
+        }
+        owners
+    }
+
+    /// Cold-boot recovery: rebuild a device from the surviving journal
+    /// bytes alone. Replays the journal through the [`ShadowModel`]
+    /// semantics (torn tail discarded, uncommitted deltas and open
+    /// repack transactions rolled back), rebuilds the page table,
+    /// allocator free lists and the durable image, verifies layout
+    /// invariants, prewarms the metadata cache by journal-tail recency,
+    /// and writes a compacted checkpoint journal.
+    pub fn recover(
+        config: CompressoConfig,
+        world: Box<dyn LineSource>,
+        journal_bytes: &[u8],
+    ) -> (Self, RecoveryReport) {
+        let (records, parse_report) = journal::parse(journal_bytes);
+        let (shadow, rolled_back) = ShadowModel::replay(&records);
+        let mut report = RecoveryReport {
+            replayed: shadow.replayed(),
+            discarded_bytes: parse_report.discarded_bytes,
+            torn: parse_report.torn,
+            rolled_back,
+            violations: shadow.violations().to_vec(),
+            ..Default::default()
+        };
+        let mut cfg = config;
+        cfg.durability.journaling = true;
+        let mut device = Self::new_boxed(cfg, world, Codec::bpc());
+
+        // Rebuild pages and ownership from the committed shadow state.
+        let mut owned_chunks: Vec<u32> = Vec::new();
+        let mut owned_blocks: Vec<(u64, u32)> = Vec::new();
+        for (&page, image) in shadow.pages() {
+            let PageImage::Packed(packed) = image else {
+                report
+                    .violations
+                    .push(format!("page {page}: non-Compresso record in journal"));
+                continue;
+            };
+            let meta = match metadata_codec::decode(packed, &device.cfg.bins) {
+                Ok(m) => m,
+                Err(e) => {
+                    report
+                        .violations
+                        .push(format!("page {page}: committed entry undecodable: {e}"));
+                    continue;
+                }
+            };
+            let blocks = shadow.blocks_of(page);
+            device.verify_rebuilt_page(page, &meta, &blocks, &mut report.violations);
+            match device.cfg.allocation {
+                PageAllocation::Chunks512 => {
+                    owned_chunks.extend(blocks.iter().map(|&(addr, _)| (addr / 512) as u32));
+                }
+                PageAllocation::Variable4 => {
+                    if let Some(&(base, bytes)) = blocks.first() {
+                        owned_blocks.push((base, bytes));
+                        device.buddy_base.insert(page, base);
+                    }
+                }
+            }
+            device.durable.insert(page, *packed);
+            device.committed.insert(page, blocks);
+            device.pages.insert(page, meta);
+        }
+        match &mut device.alloc {
+            Allocator::Chunks(_) => {
+                device.alloc = Allocator::Chunks(ChunkAllocator::rebuild(
+                    device.cfg.mpa_capacity,
+                    &owned_chunks,
+                ));
+            }
+            Allocator::Buddy(_) => {
+                device.alloc = Allocator::Buddy(BuddyAllocator::rebuild(
+                    device.cfg.mpa_capacity,
+                    &owned_blocks,
+                ));
+            }
+        }
+        // The rebuilt allocator replaced the one whose gauges were
+        // registered at construction: re-register into a fresh registry.
+        device.registry = Registry::new();
+        device.register_all_metrics();
+        report.pages_rebuilt = device.pages.len();
+
+        // Prewarm the metadata cache: most recently journaled pages are
+        // the likeliest next accesses. Replay oldest-first so the most
+        // recent ends up most-recently-used.
+        let mut recent: Vec<u64> = Vec::new();
+        for rec in records.iter().rev() {
+            let p = rec.page();
+            if device.pages.contains_key(&p) && !recent.contains(&p) {
+                recent.push(p);
+                if recent.len() >= 128 {
+                    break;
+                }
+            }
+        }
+        for &p in recent.iter().rev() {
+            let uncompressed = !device.pages[&p].compressed;
+            let _ = device.mcache.access(p, uncompressed, false);
+        }
+        report.prewarmed = recent.len();
+
+        // Checkpoint: write a fresh compacted journal equivalent to the
+        // recovered state, so the next crash replays from here.
+        let pages: Vec<u64> = device.durable.keys().copied().collect();
+        for page in pages {
+            let packed = device.durable[&page];
+            let mut recs: Vec<JournalRecord> = device.committed[&page]
+                .iter()
+                .map(|&(addr, bytes)| JournalRecord::ChunkAlloc { page, addr, bytes })
+                .collect();
+            recs.push(JournalRecord::EntryUpdate { page, packed });
+            device.append_all(&recs);
+            device.dur_events.journal_commits += 1;
+        }
+
+        device.dur_events.recovery_replayed += report.replayed as u64;
+        device.dur_events.recovery_rolled_back += report.rolled_back as u64;
+        device.dur_events.recovery_violations += report.violations.len() as u64;
+        device.dur_events.recovery_prewarmed += report.prewarmed as u64;
+        (device, report)
+    }
+
+    /// Layout invariants a rebuilt page must satisfy (violations are
+    /// reported, not panicked on).
+    fn verify_rebuilt_page(
+        &self,
+        page: u64,
+        meta: &PageMeta,
+        blocks: &[(u64, u32)],
+        violations: &mut Vec<String>,
+    ) {
+        let owned: u32 = blocks.iter().map(|&(_, b)| b).sum();
+        if owned != meta.page_bytes {
+            violations.push(format!(
+                "page {page}: entry claims {} B but journal grants {owned} B",
+                meta.page_bytes
+            ));
+        }
+        match self.cfg.allocation {
+            PageAllocation::Chunks512 => {
+                let mut journal_chunks: Vec<u32> = blocks
+                    .iter()
+                    .map(|&(addr, _)| (addr / 512) as u32)
+                    .collect();
+                journal_chunks.sort_unstable();
+                let mut meta_chunks = meta.chunks.clone();
+                meta_chunks.sort_unstable();
+                if journal_chunks != meta_chunks {
+                    violations.push(format!(
+                        "page {page}: entry chunks {meta_chunks:?} disagree with journal \
+                         ownership {journal_chunks:?}"
+                    ));
+                }
+            }
+            PageAllocation::Variable4 => {
+                if blocks.len() > 1 {
+                    violations.push(format!(
+                        "page {page}: {} blocks owned under variable allocation",
+                        blocks.len()
+                    ));
+                }
+            }
+        }
+        if meta.compressed && meta.used_bytes(&self.cfg.bins) > meta.page_bytes {
+            violations.push(format!(
+                "page {page}: lines occupy {} B of a {} B allocation",
+                meta.used_bytes(&self.cfg.bins),
+                meta.page_bytes
+            ));
+        }
+        if meta.zero && !meta.chunks.is_empty() {
+            violations.push(format!("page {page}: zero page owns storage"));
         }
     }
 
@@ -427,6 +852,7 @@ impl CompressoDevice {
             }
         };
         self.pages.insert(page, meta);
+        self.commit_meta(page);
     }
 
     /// MPA burst addresses covering `size` bytes at logical `offset` of a
@@ -504,17 +930,23 @@ impl CompressoDevice {
 
     /// Fault hook on a metadata-cache miss: the 64 B entry fetched from
     /// DRAM may be corrupted. A bit flip is applied to the page's packed
-    /// encoding; if it is detectable (decode error, or a decoded entry
-    /// that differs from the controller's committed view) the page takes
-    /// the uncompressed fallback. Flips landing in padding or spare bits
-    /// decode identically and are harmless.
+    /// encoding; with the entry CRC in place **every** flip is detected
+    /// (decode error, or a decoded entry that differs from the
+    /// controller's committed view) and the page takes the uncompressed
+    /// fallback. A flip that decoded back bit-identical would be an
+    /// *undetected* corruption — counted separately, and asserted zero
+    /// by the fault tests now that the CRC covers padding and spare bits
+    /// (DESIGN.md §10).
     fn maybe_corrupt_metadata(&mut self, now: u64, page: u64) -> u64 {
         let Some(fault) = self.faults.as_mut().and_then(|f| f.metadata_fetch_fault()) else {
             return now;
         };
         self.stats.injected_faults += 1;
         match fault {
-            MetadataFault::DecodeFailure => self.corruption_fallback(now, page),
+            MetadataFault::DecodeFailure => {
+                self.stats.corruption_detected += 1;
+                self.corruption_fallback(now, page)
+            }
             MetadataFault::BitFlip { bit } => {
                 let Some(meta) = self.pages.get(&page) else {
                     return now;
@@ -525,9 +957,21 @@ impl CompressoDevice {
                 };
                 packed[(bit / 8) % metadata_codec::PACKED_BYTES] ^= 1 << (bit % 8);
                 match metadata_codec::decode(&packed, &self.cfg.bins) {
-                    Err(_) => self.corruption_fallback(now, page),
-                    Ok(flipped) if flipped != original => self.corruption_fallback(now, page),
-                    Ok(_) => now,
+                    Err(_) => {
+                        self.stats.corruption_detected += 1;
+                        self.corruption_fallback(now, page)
+                    }
+                    Ok(flipped) if flipped != original => {
+                        self.stats.corruption_detected += 1;
+                        self.corruption_fallback(now, page)
+                    }
+                    Ok(_) => {
+                        // Silently accepted: the flip decoded back
+                        // bit-identical. Impossible once the CRC covers
+                        // the whole entry.
+                        self.stats.corruption_undetected += 1;
+                        now
+                    }
                 }
             }
         }
@@ -547,6 +991,7 @@ impl CompressoDevice {
         self.stats.corruption_fallbacks += 1;
         if meta.zero {
             self.pages.insert(page, PageMeta::zero_page());
+            self.commit_meta(page);
             return now;
         }
         if !meta.compressed && meta.page_bytes == PAGE_BYTES {
@@ -574,6 +1019,7 @@ impl CompressoDevice {
                 m.inflated.clear();
                 m.chunks = chunks;
                 m.page_bytes = PAGE_BYTES;
+                self.commit_meta(page);
                 t
             }
             Err(_) => {
@@ -582,6 +1028,7 @@ impl CompressoDevice {
                 // real data reallocates.
                 self.release_chunks(page, &meta);
                 self.pages.insert(page, PageMeta::zero_page());
+                self.commit_meta(page);
                 now
             }
         }
@@ -651,6 +1098,9 @@ impl CompressoDevice {
         meta.compressed = new_data < PAGE_BYTES;
         meta.chunks = chunks;
         meta.page_bytes = new_bytes;
+        // Journal the move as one transaction: a crash anywhere inside
+        // the bracket rolls the whole repack back to the old layout.
+        self.commit_repack(page);
     }
 
     // ------------------------------------------------------------------
@@ -703,6 +1153,7 @@ impl CompressoDevice {
         meta.zero = false;
         meta.chunks = chunks;
         meta.page_bytes = new_bytes;
+        self.commit_meta(page);
         t
     }
 
@@ -733,12 +1184,17 @@ impl CompressoDevice {
         meta.inflated.clear();
         meta.chunks = chunks;
         meta.page_bytes = PAGE_BYTES;
+        self.commit_meta(page);
         true
     }
 }
 
 impl Backend for CompressoDevice {
     fn fill(&mut self, now: u64, line_addr: u64) -> u64 {
+        if self.crashed {
+            return now; // frozen: recover from the journal
+        }
+        self.maybe_scrub(now);
         self.stats.demand_fills += 1;
         let page = line_addr / PAGE_BYTES as u64;
         let line = ((line_addr % PAGE_BYTES as u64) / 64) as usize;
@@ -813,6 +1269,10 @@ impl Backend for CompressoDevice {
     }
 
     fn writeback(&mut self, now: u64, line_addr: u64) -> u64 {
+        if self.crashed {
+            return now; // frozen: recover from the journal
+        }
+        self.maybe_scrub(now);
         self.stats.demand_writebacks += 1;
         let page = line_addr / PAGE_BYTES as u64;
         let line = ((line_addr % PAGE_BYTES as u64) / 64) as usize;
@@ -860,6 +1320,7 @@ impl Backend for CompressoDevice {
                 }
                 self.stats.data_accesses += 1;
             }
+            self.commit_meta(page);
             return t;
         }
 
@@ -956,6 +1417,7 @@ impl CompressoDevice {
                 self.stats.data_accesses += 1;
                 self.stats.ir_placements += 1;
             }
+            self.commit_meta(page);
             return now;
         }
 
@@ -982,6 +1444,7 @@ impl CompressoDevice {
                     self.mem.write(now, bursts[0]);
                     self.stats.data_accesses += 1;
                 }
+                self.commit_meta(page);
                 return now;
             }
         }

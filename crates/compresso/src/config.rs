@@ -40,6 +40,48 @@ impl PageAllocation {
     }
 }
 
+/// Crash-consistency knobs (DESIGN.md §10). Disabled by default: the
+/// figure/bench runs model the paper's controller, which has no
+/// durability layer, and must stay bit-identical to the committed
+/// goldens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurabilityConfig {
+    /// Write-ahead journal every metadata mutation and maintain the
+    /// durable metadata image (enables `recover()`).
+    pub journaling: bool,
+    /// Simulated-time interval between background scrub passes
+    /// (0 = scrubbing off). Only meaningful with `journaling`.
+    pub scrub_interval: u64,
+    /// Durable entries CRC-verified per scrub pass.
+    pub scrub_pages_per_pass: usize,
+}
+
+impl DurabilityConfig {
+    /// No journal, no scrubber (the paper's controller).
+    pub fn disabled() -> Self {
+        Self {
+            journaling: false,
+            scrub_interval: 0,
+            scrub_pages_per_pass: 0,
+        }
+    }
+
+    /// Journaling on with a background scrub pass every 100k cycles.
+    pub fn journaled() -> Self {
+        Self {
+            journaling: true,
+            scrub_interval: 100_000,
+            scrub_pages_per_pass: 64,
+        }
+    }
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
 /// Full Compresso configuration (Tab. III defaults), with each
 /// optimization individually switchable for the Fig. 6 ablation.
 #[derive(Debug, Clone)]
@@ -70,6 +112,8 @@ pub struct CompressoConfig {
     pub offset_calc_latency: u64,
     /// MPA capacity in bytes available to this device.
     pub mpa_capacity: u64,
+    /// Crash-consistency layer (journal + scrubber); disabled by default.
+    pub durability: DurabilityConfig,
 }
 
 impl CompressoConfig {
@@ -89,6 +133,16 @@ impl CompressoConfig {
             mcache_hit_latency: 2,
             offset_calc_latency: 1,
             mpa_capacity: 8 << 30,
+            durability: DurabilityConfig::disabled(),
+        }
+    }
+
+    /// Full Compresso with the crash-consistency layer on (journal +
+    /// scrubber); used by the robustness/soak tests, not the figures.
+    pub fn durable() -> Self {
+        Self {
+            durability: DurabilityConfig::journaled(),
+            ..Self::compresso()
         }
     }
 
@@ -189,6 +243,20 @@ mod tests {
         let full = CompressoConfig::compresso();
         assert_eq!(ladder[5].1.bins, full.bins);
         assert!(ladder[5].1.repacking && ladder[5].1.ir_expansion);
+    }
+
+    #[test]
+    fn durability_defaults_off() {
+        assert_eq!(
+            CompressoConfig::compresso().durability,
+            DurabilityConfig::disabled()
+        );
+        for (_, cfg) in CompressoConfig::ablation_ladder(PageAllocation::Chunks512) {
+            assert!(!cfg.durability.journaling);
+        }
+        let durable = CompressoConfig::durable();
+        assert!(durable.durability.journaling);
+        assert!(durable.durability.scrub_interval > 0);
     }
 
     #[test]

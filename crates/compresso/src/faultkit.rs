@@ -11,6 +11,17 @@
 //! Determinism is the point: the same seed against the same access
 //! stream injects the same faults in the same order, so a chaos run is
 //! exactly reproducible (asserted by `fault_tests.rs`).
+//!
+//! PR 4 adds two durability hooks: [`FaultPlan::durable_rot`] flips bits
+//! in the durable metadata image between writes (silent media rot,
+//! caught by the scrubber), and [`FaultPlan::crash_on_append`] crashes
+//! the device mid-journal-append so the journal ends in a torn record.
+//! Both [`FaultConfig`] and [`FaultPlan`] round-trip through JSON (the
+//! hand-rolled `telemetry::json` dialect) so a failing chaos/soak run
+//! prints a copy-pasteable repro line.
+
+use compresso_telemetry::json::{self, JsonValue};
+use std::fmt::Write as _;
 
 /// A fault produced at a metadata-fetch hook.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +53,9 @@ pub struct FaultConfig {
     pub storm_evictions: usize,
     /// ‰ of balloon inflate attempts that the OS refuses.
     pub balloon_refusal_per_mille: u32,
+    /// ‰ of durable metadata-image writes after which one stored bit
+    /// rots (silent media decay; repaired by the scrubber).
+    pub rot_per_mille: u32,
 }
 
 impl Default for FaultConfig {
@@ -53,6 +67,7 @@ impl Default for FaultConfig {
             eviction_storm_per_mille: 0,
             storm_evictions: 32,
             balloon_refusal_per_mille: 0,
+            rot_per_mille: 0,
         }
     }
 }
@@ -71,7 +86,71 @@ impl FaultConfig {
             eviction_storm_per_mille: 10,
             storm_evictions: 64,
             balloon_refusal_per_mille: 400,
+            rot_per_mille: 60,
         }
+    }
+
+    /// Serializes the rates as a JSON object (stable key order).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"bit_flip_per_mille\":{},\"decode_failure_per_mille\":{},",
+                "\"alloc_failure_per_mille\":{},\"eviction_storm_per_mille\":{},",
+                "\"storm_evictions\":{},\"balloon_refusal_per_mille\":{},",
+                "\"rot_per_mille\":{}}}"
+            ),
+            self.bit_flip_per_mille,
+            self.decode_failure_per_mille,
+            self.alloc_failure_per_mille,
+            self.eviction_storm_per_mille,
+            self.storm_evictions,
+            self.balloon_refusal_per_mille,
+            self.rot_per_mille,
+        )
+    }
+
+    /// Parses a config previously emitted by [`Self::to_json`]. Missing
+    /// keys fall back to [`FaultConfig::default`] so older repro lines
+    /// stay loadable.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = json::parse(text)?;
+        Self::from_json_value(&v)
+    }
+
+    fn from_json_value(v: &JsonValue) -> Result<Self, String> {
+        if v.as_obj().is_none() {
+            return Err("FaultConfig: expected a JSON object".into());
+        }
+        let field = |key: &str, default: u64| -> Result<u64, String> {
+            match v.get(key) {
+                None => Ok(default),
+                Some(n) => n
+                    .as_u64()
+                    .ok_or_else(|| format!("FaultConfig: `{key}` must be a non-negative integer")),
+            }
+        };
+        let d = FaultConfig::default();
+        Ok(Self {
+            bit_flip_per_mille: field("bit_flip_per_mille", d.bit_flip_per_mille as u64)? as u32,
+            decode_failure_per_mille: field(
+                "decode_failure_per_mille",
+                d.decode_failure_per_mille as u64,
+            )? as u32,
+            alloc_failure_per_mille: field(
+                "alloc_failure_per_mille",
+                d.alloc_failure_per_mille as u64,
+            )? as u32,
+            eviction_storm_per_mille: field(
+                "eviction_storm_per_mille",
+                d.eviction_storm_per_mille as u64,
+            )? as u32,
+            storm_evictions: field("storm_evictions", d.storm_evictions as u64)? as usize,
+            balloon_refusal_per_mille: field(
+                "balloon_refusal_per_mille",
+                d.balloon_refusal_per_mille as u64,
+            )? as u32,
+            rot_per_mille: field("rot_per_mille", d.rot_per_mille as u64)? as u32,
+        })
     }
 }
 
@@ -88,6 +167,10 @@ pub struct FaultStats {
     pub eviction_storms: u64,
     /// Balloon-inflate refusals injected.
     pub balloon_refusals: u64,
+    /// Bits rotted in the durable metadata image.
+    pub rot_flips: u64,
+    /// Crashes triggered mid-journal-append.
+    pub crashes: u64,
 }
 
 impl FaultStats {
@@ -98,6 +181,8 @@ impl FaultStats {
             + self.alloc_refusals
             + self.eviction_storms
             + self.balloon_refusals
+            + self.rot_flips
+            + self.crashes
     }
 
     /// Number of distinct fault kinds that fired at least once.
@@ -108,6 +193,8 @@ impl FaultStats {
             self.alloc_refusals,
             self.eviction_storms,
             self.balloon_refusals,
+            self.rot_flips,
+            self.crashes,
         ]
         .iter()
         .filter(|&&n| n > 0)
@@ -122,6 +209,10 @@ pub struct FaultPlan {
     cfg: FaultConfig,
     state: u64,
     stats: FaultStats,
+    /// One-shot crash trigger: the device crashes while appending journal
+    /// record number `crash_at_record` (0-based), leaving a torn tail.
+    crash_at_record: Option<u64>,
+    crash_armed: bool,
 }
 
 impl FaultPlan {
@@ -138,7 +229,23 @@ impl FaultPlan {
             cfg,
             state: z | 1,
             stats: FaultStats::default(),
+            crash_at_record: None,
+            crash_armed: false,
         }
+    }
+
+    /// Arms a one-shot crash while journal record `record` (0-based) is
+    /// being appended: the record is written torn (header + partial
+    /// payload, no checksum) and the device stops mutating state.
+    pub fn with_crash_at(mut self, record: u64) -> Self {
+        self.crash_at_record = Some(record);
+        self.crash_armed = true;
+        self
+    }
+
+    /// The armed crash point, if any (survives firing, for repro lines).
+    pub fn crash_at(&self) -> Option<u64> {
+        self.crash_at_record
     }
 
     /// A plan using the [`FaultConfig::aggressive`] preset.
@@ -225,6 +332,75 @@ impl FaultPlan {
         }
         refused
     }
+
+    /// Hook: a 64 B entry was written to the durable metadata image.
+    /// Returns the bit (within the 512-bit entry) that rots afterwards,
+    /// if rot fires. Always consumes two draws (roll + position) so the
+    /// schedule is stable across rate changes.
+    pub fn durable_rot(&mut self) -> Option<usize> {
+        let rot = self.roll(self.cfg.rot_per_mille);
+        let bit = (self.next() % 512) as usize;
+        if rot {
+            self.stats.rot_flips += 1;
+            Some(bit)
+        } else {
+            None
+        }
+    }
+
+    /// Hook: the journal is about to append record `record_index`
+    /// (0-based, counted over the journal's lifetime). Returns `true`
+    /// exactly once, when the armed crash point is reached: the append
+    /// must be torn and the device must stop.
+    pub fn crash_on_append(&mut self, record_index: u64) -> bool {
+        if self.crash_armed && self.crash_at_record == Some(record_index) {
+            self.crash_armed = false;
+            self.stats.crashes += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Serializes seed, crash point and rates as one JSON line — the
+    /// repro format printed by chaos/soak failures.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{{\"seed\":{}", self.seed);
+        match self.crash_at_record {
+            Some(r) => {
+                let _ = write!(out, ",\"crash_at_record\":{r}");
+            }
+            None => out.push_str(",\"crash_at_record\":null"),
+        }
+        let _ = write!(out, ",\"config\":{}}}", self.cfg.to_json());
+        out
+    }
+
+    /// Reconstructs a fresh (no faults drawn yet) plan from a repro line
+    /// emitted by [`Self::to_json`].
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = json::parse(text)?;
+        let seed = v
+            .get("seed")
+            .and_then(|s| s.as_u64())
+            .ok_or("FaultPlan: missing or invalid `seed`")?;
+        let cfg = match v.get("config") {
+            None => FaultConfig::default(),
+            Some(c) => FaultConfig::from_json_value(c)?,
+        };
+        let mut plan = Self::new(seed, cfg);
+        match v.get("crash_at_record") {
+            None | Some(JsonValue::Null) => {}
+            Some(r) => {
+                let record = r
+                    .as_u64()
+                    .ok_or("FaultPlan: `crash_at_record` must be null or an integer")?;
+                plan = plan.with_crash_at(record);
+            }
+        }
+        Ok(plan)
+    }
 }
 
 #[cfg(test)]
@@ -240,6 +416,7 @@ mod tests {
             assert_eq!(a.alloc_refused(), b.alloc_refused());
             assert_eq!(a.eviction_storm(), b.eviction_storm());
             assert_eq!(a.balloon_refused(), b.balloon_refused());
+            assert_eq!(a.durable_rot(), b.durable_rot());
         }
         assert_eq!(a.stats(), b.stats());
     }
@@ -259,15 +436,17 @@ mod tests {
 
     #[test]
     fn aggressive_preset_hits_every_kind() {
-        let mut plan = FaultPlan::aggressive(7);
-        for _ in 0..4000 {
+        let mut plan = FaultPlan::aggressive(7).with_crash_at(100);
+        for i in 0..4000u64 {
             let _ = plan.metadata_fetch_fault();
             let _ = plan.alloc_refused();
             let _ = plan.eviction_storm();
             let _ = plan.balloon_refused();
+            let _ = plan.durable_rot();
+            let _ = plan.crash_on_append(i);
         }
         let s = plan.stats();
-        assert_eq!(s.distinct_kinds(), 5, "all five kinds must fire: {s:?}");
+        assert_eq!(s.distinct_kinds(), 7, "all seven kinds must fire: {s:?}");
         assert_eq!(
             s.total(),
             s.bit_flips
@@ -275,6 +454,58 @@ mod tests {
                 + s.alloc_refusals
                 + s.eviction_storms
                 + s.balloon_refusals
+                + s.rot_flips
+                + s.crashes
+        );
+    }
+
+    #[test]
+    fn crash_hook_fires_exactly_once() {
+        let mut plan = FaultPlan::aggressive(1).with_crash_at(3);
+        assert!(!plan.crash_on_append(0));
+        assert!(!plan.crash_on_append(2));
+        assert!(plan.crash_on_append(3));
+        assert!(!plan.crash_on_append(3), "one-shot: must not re-fire");
+        assert_eq!(plan.stats().crashes, 1);
+        assert_eq!(plan.crash_at(), Some(3), "crash point survives firing");
+    }
+
+    #[test]
+    fn plan_json_round_trips() {
+        let plan = FaultPlan::aggressive(0xDEAD_BEEF).with_crash_at(42);
+        let line = plan.to_json();
+        let back = FaultPlan::from_json(&line).expect("repro line parses");
+        assert_eq!(back.seed(), plan.seed());
+        assert_eq!(back.config(), plan.config());
+        assert_eq!(back.crash_at(), Some(42));
+        // The reconstructed plan replays the identical schedule (the
+        // original has drawn nothing yet, so both start fresh).
+        let (mut a, mut b) = (plan, back);
+        for _ in 0..500 {
+            assert_eq!(a.metadata_fetch_fault(), b.metadata_fetch_fault());
+            assert_eq!(a.durable_rot(), b.durable_rot());
+        }
+    }
+
+    #[test]
+    fn plan_json_without_crash_point() {
+        let plan = FaultPlan::new(5, FaultConfig::default());
+        let line = plan.to_json();
+        assert!(line.contains("\"crash_at_record\":null"));
+        let back = FaultPlan::from_json(&line).expect("parses");
+        assert_eq!(back.crash_at(), None);
+        assert_eq!(back.config(), &FaultConfig::default());
+    }
+
+    #[test]
+    fn config_json_rejects_garbage_and_tolerates_missing_keys() {
+        assert!(FaultConfig::from_json("[1,2]").is_err());
+        assert!(FaultConfig::from_json("{\"bit_flip_per_mille\":\"x\"}").is_err());
+        let sparse = FaultConfig::from_json("{\"rot_per_mille\":9}").expect("sparse ok");
+        assert_eq!(sparse.rot_per_mille, 9);
+        assert_eq!(
+            sparse.storm_evictions,
+            FaultConfig::default().storm_evictions
         );
     }
 

@@ -11,6 +11,10 @@ use crate::alloc::BuddyAllocator;
 use crate::compresso::{alloc_buddy_with_retry, Codec};
 use crate::device::MemoryDevice;
 use crate::faultkit::{FaultPlan, FaultStats};
+use crate::journal::{
+    self, AppendOutcome, DurabilityEvents, Journal, JournalRecord, LcpImage, PageImage,
+    RecoveryReport, ShadowModel,
+};
 use crate::lcp::{plan, LcpPlan};
 use crate::mcache::MetadataCache;
 use crate::metadata::{LINES_PER_PAGE, PAGE_BYTES};
@@ -55,6 +59,17 @@ pub struct LcpDevice {
     codec_latency: u64,
     mcache_hit_latency: u64,
     faults: Option<FaultPlan>,
+    // -------- crash-consistency layer (DESIGN.md §10) --------
+    /// Write-ahead journal; `None` until [`LcpDevice::enable_journaling`].
+    /// Unlike Compresso there is no durable-image scrubber: the OS keeps
+    /// the authoritative layout, so the journal alone suffices for
+    /// recovery.
+    journal: Option<Journal>,
+    /// Last journal-committed frame per page, for delta records.
+    committed: HashMap<u64, Vec<(u64, u32)>>,
+    /// Set when an armed crash fired (journal frozen, device inert).
+    crashed: bool,
+    dur_events: DurabilityEvents,
 }
 
 impl std::fmt::Debug for LcpDevice {
@@ -80,11 +95,15 @@ impl LcpDevice {
     }
 
     fn build(name: &'static str, bins: BinSet, world: impl LineSource + 'static) -> Self {
+        Self::build_boxed(name, bins, Box::new(world))
+    }
+
+    fn build_boxed(name: &'static str, bins: BinSet, world: Box<dyn LineSource>) -> Self {
         let device = Self {
             name,
             bins,
             codec: Codec::bpc(),
-            world: Box::new(world),
+            world,
             mem: MainMemory::new(MemConfig::ddr4_2666()),
             mcache: MetadataCache::paper_default(false),
             alloc: BuddyAllocator::new(8 << 30),
@@ -96,12 +115,33 @@ impl LcpDevice {
             codec_latency: 12,
             mcache_hit_latency: 2,
             faults: None,
+            journal: None,
+            committed: HashMap::new(),
+            crashed: false,
+            dur_events: DurabilityEvents::new(),
         };
-        device.stats.register_metrics(&device.registry, "lcp");
-        device.mem.register_metrics(&device.registry, "dram");
-        device.mcache.register_metrics(&device.registry, "mcache");
-        device.alloc.register_metrics(&device.registry, "alloc");
+        device.register_all_metrics();
         device
+    }
+
+    fn register_all_metrics(&self) {
+        self.stats.register_metrics(&self.registry, "lcp");
+        self.mem.register_metrics(&self.registry, "dram");
+        self.mcache.register_metrics(&self.registry, "mcache");
+        self.alloc.register_metrics(&self.registry, "alloc");
+        if self.journal.is_some() {
+            self.dur_events.register_metrics(&self.registry);
+        }
+    }
+
+    /// Turns on write-ahead journaling of every layout mutation
+    /// (DESIGN.md §10). Off by default: the figure runs model the
+    /// paper's baseline, which has no durability layer.
+    pub fn enable_journaling(&mut self) {
+        if self.journal.is_none() {
+            self.journal = Some(Journal::new());
+            self.dur_events.register_metrics(&self.registry);
+        }
     }
 
     /// Attaches a deterministic fault-injection plan (`None` by default;
@@ -182,6 +222,7 @@ impl LcpDevice {
                             all_zero: true,
                         },
                     );
+                    self.commit_lcp(page);
                     return;
                 }
             }
@@ -196,6 +237,7 @@ impl LcpDevice {
                 all_zero,
             },
         );
+        self.commit_lcp(page);
     }
 
     fn metadata_addr(page: u64) -> u64 {
@@ -279,6 +321,7 @@ impl LcpDevice {
         for (line, size) in sizes.iter().enumerate() {
             meta.zero_lines[line] = *size == 0;
         }
+        self.commit_lcp(page);
         // The OS trap dominates the latency of an OS-aware overflow.
         t + OS_PAGE_FAULT_CYCLES
     }
@@ -297,6 +340,7 @@ impl LcpDevice {
             return now;
         }
         self.stats.injected_faults += 1;
+        self.stats.corruption_detected += 1;
         self.stats.corruption_fallbacks += 1;
         self.replan_page(now, page, true)
     }
@@ -315,6 +359,205 @@ impl LcpDevice {
             }
         }
     }
+
+    // ------------------------------------------------------------------
+    // Crash-consistency layer (DESIGN.md §10)
+    // ------------------------------------------------------------------
+
+    /// Appends records in order, freezing the device if an armed crash
+    /// tears one of them.
+    fn append_all(&mut self, recs: &[JournalRecord]) {
+        let Some(j) = self.journal.as_mut() else {
+            return;
+        };
+        for rec in recs {
+            match j.append(rec, &mut self.faults) {
+                AppendOutcome::Written => self.dur_events.journal_appends += 1,
+                AppendOutcome::Crashed => {
+                    self.dur_events.journal_torn += 1;
+                    self.stats.injected_faults += 1;
+                    self.crashed = true;
+                    return;
+                }
+                AppendOutcome::Frozen => return,
+            }
+        }
+    }
+
+    /// Journals the page's new committed layout: the frame delta against
+    /// the last committed view, then the serialized plan as the commit
+    /// point.
+    fn commit_lcp(&mut self, page: u64) {
+        if self.journal.is_none() || self.crashed {
+            return;
+        }
+        let Some(meta) = self.pages.get(&page) else {
+            return;
+        };
+        let image = lcp_image_of(meta);
+        let new_blocks: Vec<(u64, u32)> = if meta.page_bytes > 0 {
+            vec![(meta.base, meta.page_bytes)]
+        } else {
+            Vec::new()
+        };
+        let old_blocks = self.committed.get(&page).cloned().unwrap_or_default();
+        let mut recs = Vec::new();
+        for &(addr, bytes) in old_blocks.iter().filter(|b| !new_blocks.contains(b)) {
+            recs.push(JournalRecord::ChunkFree { page, addr, bytes });
+        }
+        for &(addr, bytes) in new_blocks.iter().filter(|b| !old_blocks.contains(b)) {
+            recs.push(JournalRecord::ChunkAlloc { page, addr, bytes });
+        }
+        recs.push(JournalRecord::LcpEntryUpdate { page, image });
+        self.append_all(&recs);
+        if self.crashed {
+            return;
+        }
+        self.dur_events.journal_commits += 1;
+        self.committed.insert(page, new_blocks);
+    }
+
+    /// Raw bytes of the write-ahead journal, if journaling is enabled.
+    pub fn journal_bytes(&self) -> Option<&[u8]> {
+        self.journal.as_ref().map(|j| j.bytes())
+    }
+
+    /// Whether an armed crash fired (the device is frozen; recover from
+    /// [`Self::journal_bytes`]).
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Cold-boot recovery of the plain-LCP baseline from its journal.
+    pub fn recover_lcp(world: Box<dyn LineSource>, journal_bytes: &[u8]) -> (Self, RecoveryReport) {
+        Self::recover_build("LCP", BinSet::legacy4(), world, journal_bytes)
+    }
+
+    /// Cold-boot recovery of the LCP+Align baseline from its journal.
+    pub fn recover_lcp_align(
+        world: Box<dyn LineSource>,
+        journal_bytes: &[u8],
+    ) -> (Self, RecoveryReport) {
+        Self::recover_build("LCP+Align", BinSet::aligned4(), world, journal_bytes)
+    }
+
+    /// As `CompressoDevice::recover`: replay the surviving journal
+    /// through the shadow semantics, rebuild pages and the buddy
+    /// allocator, verify layout invariants, write a compacted
+    /// checkpoint. No scrubber: the OS keeps the authoritative layout,
+    /// so the journal is the single durable source.
+    fn recover_build(
+        name: &'static str,
+        bins: BinSet,
+        world: Box<dyn LineSource>,
+        journal_bytes: &[u8],
+    ) -> (Self, RecoveryReport) {
+        let (records, parse_report) = journal::parse(journal_bytes);
+        let (shadow, rolled_back) = ShadowModel::replay(&records);
+        let mut report = RecoveryReport {
+            replayed: shadow.replayed(),
+            discarded_bytes: parse_report.discarded_bytes,
+            torn: parse_report.torn,
+            rolled_back,
+            violations: shadow.violations().to_vec(),
+            ..Default::default()
+        };
+        let mut device = Self::build_boxed(name, bins, world);
+        device.journal = Some(Journal::new());
+
+        let mut owned_blocks: Vec<(u64, u32)> = Vec::new();
+        for (&page, image) in shadow.pages() {
+            let PageImage::Lcp(img) = image else {
+                report
+                    .violations
+                    .push(format!("page {page}: non-LCP record in journal"));
+                continue;
+            };
+            let blocks = shadow.blocks_of(page);
+            let owned: u32 = blocks.iter().map(|&(_, b)| b).sum();
+            if owned != img.page_bytes {
+                report.violations.push(format!(
+                    "page {page}: plan claims {} B but journal grants {owned} B",
+                    img.page_bytes
+                ));
+            }
+            if blocks.len() > 1 {
+                report.violations.push(format!(
+                    "page {page}: {} blocks owned under LCP allocation",
+                    blocks.len()
+                ));
+            }
+            if let Some(&(addr, _)) = blocks.first() {
+                if addr != img.base {
+                    report.violations.push(format!(
+                        "page {page}: plan base {:#x} but journal grants {addr:#x}",
+                        img.base
+                    ));
+                }
+            }
+            let mut zero_lines = [false; LINES_PER_PAGE];
+            for (line, z) in zero_lines.iter_mut().enumerate() {
+                *z = img.zero_bitmap >> line & 1 != 0;
+            }
+            device.pages.insert(
+                page,
+                LcpMeta {
+                    plan: LcpPlan {
+                        target: img.target,
+                        exceptions: img.exceptions.clone(),
+                        needed_bytes: img.needed_bytes,
+                    },
+                    page_bytes: img.page_bytes,
+                    base: img.base,
+                    zero_lines,
+                    all_zero: img.all_zero,
+                },
+            );
+            device.committed.insert(page, blocks.clone());
+            owned_blocks.extend(blocks);
+        }
+        device.alloc = BuddyAllocator::rebuild(8 << 30, &owned_blocks);
+        device.registry = Registry::new();
+        device.register_all_metrics();
+        report.pages_rebuilt = device.pages.len();
+
+        // Checkpoint: compacted journal equivalent to the recovered state.
+        let mut pages: Vec<u64> = device.pages.keys().copied().collect();
+        pages.sort_unstable();
+        for page in pages {
+            let meta = &device.pages[&page];
+            let image = lcp_image_of(meta);
+            let mut recs: Vec<JournalRecord> = device.committed[&page]
+                .iter()
+                .map(|&(addr, bytes)| JournalRecord::ChunkAlloc { page, addr, bytes })
+                .collect();
+            recs.push(JournalRecord::LcpEntryUpdate { page, image });
+            device.append_all(&recs);
+            device.dur_events.journal_commits += 1;
+        }
+
+        device.dur_events.recovery_replayed += report.replayed as u64;
+        device.dur_events.recovery_rolled_back += report.rolled_back as u64;
+        device.dur_events.recovery_violations += report.violations.len() as u64;
+        (device, report)
+    }
+}
+
+/// Serializes one page's layout for the journal.
+fn lcp_image_of(meta: &LcpMeta) -> LcpImage {
+    let mut zero_bitmap = 0u64;
+    for (line, &z) in meta.zero_lines.iter().enumerate() {
+        zero_bitmap |= (z as u64) << line;
+    }
+    LcpImage {
+        target: meta.plan.target,
+        needed_bytes: meta.plan.needed_bytes,
+        page_bytes: meta.page_bytes,
+        base: meta.base,
+        all_zero: meta.all_zero,
+        zero_bitmap,
+        exceptions: meta.plan.exceptions.clone(),
+    }
 }
 
 /// The plan of a page holding no data (all lines zero).
@@ -324,6 +567,9 @@ fn plan_for_zero_page(bins: &BinSet) -> LcpPlan {
 
 impl Backend for LcpDevice {
     fn fill(&mut self, now: u64, line_addr: u64) -> u64 {
+        if self.crashed {
+            return now; // frozen: recover from the journal
+        }
         self.stats.demand_fills += 1;
         let page = line_addr / PAGE_BYTES as u64;
         let line = ((line_addr % PAGE_BYTES as u64) / 64) as usize;
@@ -426,6 +672,9 @@ impl Backend for LcpDevice {
     }
 
     fn writeback(&mut self, now: u64, line_addr: u64) -> u64 {
+        if self.crashed {
+            return now; // frozen: recover from the journal
+        }
         self.stats.demand_writebacks += 1;
         let page = line_addr / PAGE_BYTES as u64;
         let line = ((line_addr % PAGE_BYTES as u64) / 64) as usize;
@@ -459,6 +708,7 @@ impl Backend for LcpDevice {
         if new_size == 0 {
             meta.zero_lines[line] = true;
             self.stats.zero_writebacks += 1;
+            self.commit_lcp(page);
             return t;
         }
         meta.zero_lines[line] = false;
@@ -491,6 +741,7 @@ impl Backend for LcpDevice {
             if (new_size as u32) < target && !is_exception {
                 self.stats.line_underflows += 1;
             }
+            self.commit_lcp(page);
             return t;
         }
 
@@ -506,6 +757,7 @@ impl Backend for LcpDevice {
             }
             self.stats.data_accesses += 1;
             self.stats.ir_placements += 1;
+            self.commit_lcp(page);
             return t;
         }
         // Exception region full: OS-visible page overflow.

@@ -45,6 +45,7 @@ pub mod device;
 pub mod error;
 pub mod faultkit;
 pub mod hugepage;
+pub mod journal;
 pub mod lcp;
 pub mod lcp_device;
 pub mod mcache;
@@ -56,11 +57,15 @@ pub mod stats;
 
 pub use crate::compresso::{Codec, CompressoDevice};
 pub use alloc::{BuddyAllocator, ChunkAllocator, OutOfMpaSpace};
-pub use config::{CompressoConfig, PageAllocation};
+pub use config::{CompressoConfig, DurabilityConfig, PageAllocation};
 pub use device::{MemoryDevice, UncompressedDevice};
 pub use error::CompressoError;
 pub use faultkit::{FaultConfig, FaultPlan, FaultStats, MetadataFault};
 pub use hugepage::{HugePageMap, OsPageSize};
+pub use journal::{
+    parse as parse_journal, AppendOutcome, DurabilityEvents, Journal, JournalRecord, LcpImage,
+    PageImage, ParseReport, RecoveryReport, ShadowModel,
+};
 pub use lcp::{plan as lcp_plan, LcpPlan};
 pub use lcp_device::{LcpDevice, OS_PAGE_FAULT_CYCLES};
 pub use mcache::{McAccess, McStats, MetadataCache};

@@ -13,11 +13,20 @@
 //! | 64 × 2-bit line-size codes | 128 |
 //! | inflation count | 6 |
 //! | 17 × 6-bit inflation pointers | 102 |
-//! | padding to 512 | 64 |
+//! | spare | 32 |
+//! | CRC-32 over bytes [0, 60) | 32 |
 //!
 //! The first 32 bytes hold the control word and MPFNs — everything an
 //! *uncompressed* page needs — which is precisely why the §IV-B5
 //! half-entry metadata-cache optimization works.
+//!
+//! The fields occupy exactly 448 bits (56 bytes); the former padding now
+//! carries a CRC-32 (IEEE) over bytes `[0, 60)`, stored little-endian in
+//! bytes `[60, 64)`. Every single-bit flip anywhere in the 512-bit record
+//! is detected: a flip in `[0, 60)` changes the computed checksum, a flip
+//! in `[60, 64)` changes the stored one. Before the CRC landed, flips in
+//! the padding decoded to an identical entry and were accepted silently
+//! (counted as `metadata.corruption_undetected`, DESIGN.md §10).
 
 use crate::error::CompressoError;
 use crate::metadata::{PageMeta, LINES_PER_PAGE};
@@ -25,6 +34,39 @@ use compresso_compression::{BinSet, BitReader, BitWriter};
 
 /// Size of the packed entry.
 pub const PACKED_BYTES: usize = 64;
+
+/// Offset of the little-endian CRC-32 within a packed entry; the
+/// checksum covers bytes `[0, CRC_OFFSET)`.
+pub const CRC_OFFSET: usize = PACKED_BYTES - 4;
+
+/// Table-driven CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`).
+///
+/// Shared by the packed-entry codec and the metadata journal
+/// ([`crate::journal`]) so both layers agree on what "checksummed"
+/// means.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        t
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
 
 /// Error decoding a packed metadata entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,6 +77,8 @@ pub enum DecodeMetadataError {
     BadInflationCount(u8),
     /// A line-size code exceeds the bin set.
     BadLineCode(u8),
+    /// The stored CRC-32 does not match the entry bytes.
+    BadCrc { expected: u32, found: u32 },
 }
 
 impl std::fmt::Display for DecodeMetadataError {
@@ -45,6 +89,12 @@ impl std::fmt::Display for DecodeMetadataError {
                 write!(f, "invalid inflation count {n}")
             }
             DecodeMetadataError::BadLineCode(c) => write!(f, "invalid line-size code {c}"),
+            DecodeMetadataError::BadCrc { expected, found } => {
+                write!(
+                    f,
+                    "metadata CRC mismatch: expected {expected:#010x}, found {found:#010x}"
+                )
+            }
         }
     }
 }
@@ -103,9 +153,14 @@ pub fn try_encode(meta: &PageMeta, bins: &BinSet) -> Result<[u8; PACKED_BYTES], 
         w.write(line as u64, 6);
     }
     let (bytes, bit_len) = w.into_parts();
-    debug_assert!(bit_len <= PACKED_BYTES * 8, "entry must fit 64 bytes");
+    debug_assert!(
+        bit_len <= CRC_OFFSET * 8,
+        "fields must leave room for the CRC"
+    );
     let mut out = [0u8; PACKED_BYTES];
     out[..bytes.len()].copy_from_slice(&bytes);
+    let crc = crc32(&out[..CRC_OFFSET]);
+    out[CRC_OFFSET..].copy_from_slice(&crc.to_le_bytes());
     Ok(out)
 }
 
@@ -127,9 +182,16 @@ pub fn encode(meta: &PageMeta, bins: &BinSet) -> [u8; PACKED_BYTES] {
 ///
 /// # Errors
 ///
-/// Returns a [`DecodeMetadataError`] if any field is out of range
-/// (corrupted metadata).
+/// Returns a [`DecodeMetadataError`] if the CRC does not match the entry
+/// bytes or any field is out of range (corrupted metadata). The CRC is
+/// checked first, so every single-bit flip — including flips in spare
+/// bits that leave the fields intact — surfaces as `BadCrc`.
 pub fn decode(packed: &[u8; PACKED_BYTES], bins: &BinSet) -> Result<PageMeta, DecodeMetadataError> {
+    let expected = crc32(&packed[..CRC_OFFSET]);
+    let found = u32::from_le_bytes(packed[CRC_OFFSET..].try_into().expect("4 bytes"));
+    if expected != found {
+        return Err(DecodeMetadataError::BadCrc { expected, found });
+    }
     let mut r = BitReader::new(packed);
     let valid = r.read_bit();
     let zero = r.read_bit();
@@ -236,10 +298,39 @@ mod tests {
         let bins = BinSet::aligned4();
         let mut packed = encode(&sample(), &bins);
         packed[0] |= 0x0F; // force the 4-bit chunk count to 15
+                           // The CRC guard fires before field validation gets a chance.
+        assert!(matches!(
+            decode(&packed, &bins),
+            Err(DecodeMetadataError::BadCrc { .. })
+        ));
+        // Re-seal the corrupted bytes to exercise the field check itself.
+        let crc = crc32(&packed[..CRC_OFFSET]);
+        packed[CRC_OFFSET..].copy_from_slice(&crc.to_le_bytes());
         assert!(matches!(
             decode(&packed, &bins),
             Err(DecodeMetadataError::BadChunkCount(_))
         ));
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The canonical IEEE 802.3 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let bins = BinSet::aligned4();
+        let packed = encode(&sample(), &bins);
+        for bit in 0..PACKED_BYTES * 8 {
+            let mut flipped = packed;
+            flipped[bit / 8] ^= 1 << (bit % 8);
+            assert!(
+                decode(&flipped, &bins).is_err(),
+                "flip of bit {bit} was accepted silently"
+            );
+        }
     }
 
     #[test]

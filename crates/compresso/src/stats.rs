@@ -68,6 +68,8 @@ device_events! {
     prefetch_hits => "prefetch_hit.total",
     injected_faults => "fault.injected.total",
     corruption_fallbacks => "fault.corruption_fallback.total",
+    corruption_detected => "metadata.corruption_detected.total",
+    corruption_undetected => "metadata.corruption_undetected.total",
     fault_extra => "fault.extra_access.total",
     eviction_storms => "fault.eviction_storm.total",
     alloc_retries => "alloc.retry.total",
@@ -132,6 +134,13 @@ pub struct DeviceStats {
     /// Pages degraded after metadata corruption: rewritten uncompressed
     /// (Compresso) or re-planned via the OS path (LCP).
     pub corruption_fallbacks: u64,
+    /// Corrupted metadata entries *detected* (CRC or field validation
+    /// failed, or the entry disagreed with the committed view).
+    pub corruption_detected: u64,
+    /// Corrupted metadata entries accepted silently — a flipped entry
+    /// that decoded back bit-identical. Nonzero only before the CRC
+    /// landed in the packed format; asserted zero since (DESIGN.md §10).
+    pub corruption_undetected: u64,
     /// Extra DRAM bursts spent on corruption fallbacks.
     pub fault_extra: u64,
     /// Forced metadata-cache eviction storms processed.

@@ -71,15 +71,23 @@ fn run_lcp(align: bool, seed: u64, bench: &str) -> (DeviceStats, FaultStats) {
 /// Every injected fault the plan drew must be acknowledged by the device,
 /// and the degradation counters must stay within what was injected.
 fn assert_consistent(label: &str, dev: &DeviceStats, faults: &FaultStats) {
-    let drawn =
-        faults.bit_flips + faults.decode_failures + faults.alloc_refusals + faults.eviction_storms;
+    let drawn = faults.bit_flips
+        + faults.decode_failures
+        + faults.alloc_refusals
+        + faults.eviction_storms
+        + faults.rot_flips
+        + faults.crashes;
+    assert_eq!(
+        dev.corruption_undetected, 0,
+        "{label}: the entry CRC must catch every injected metadata fault"
+    );
     assert_eq!(
         dev.injected_faults, drawn,
         "{label}: device must account for every drawn fault (device {}, plan {drawn})",
         dev.injected_faults
     );
     assert!(
-        dev.corruption_fallbacks <= faults.bit_flips + faults.decode_failures,
+        dev.corruption_fallbacks <= faults.bit_flips + faults.decode_failures + faults.rot_flips,
         "{label}: fallbacks cannot exceed metadata faults"
     );
     assert_eq!(
@@ -168,6 +176,39 @@ fn faulted_device_still_compresses() {
         "zeusmp keeps compressing under faults, got {ratio:.2}"
     );
     assert!(d.device_stats().corruption_fallbacks > 0);
+}
+
+#[test]
+fn journaled_chaos_crashes_and_recovers() {
+    // The full stack at once: aggressive faults, durable-metadata rot,
+    // and an armed mid-run crash on a journaled device — then a cold
+    // boot from the torn journal and more chaos on the recovered device.
+    let mut d = CompressoDevice::new(CompressoConfig::durable(), world("soplex"));
+    d.inject_faults(FaultPlan::aggressive(0xD15EA5E).with_crash_at(400));
+    drive_chaos(&mut d, 48, 3);
+    assert!(d.is_crashed(), "the armed crash must fire mid-schedule");
+    let dev = d.device_stats();
+    let faults = *d.fault_stats().expect("plan attached");
+    assert_eq!(faults.crashes, 1);
+    assert_consistent("journaled-chaos", &dev, &faults);
+
+    let (mut recovered, report) = CompressoDevice::recover(
+        CompressoConfig::durable(),
+        Box::new(world("soplex")),
+        d.journal_bytes().expect("journaling on"),
+    );
+    assert!(
+        report.is_clean(),
+        "journaled-chaos: recovery violations {:?}",
+        report.violations
+    );
+    assert!(report.torn, "the armed crash tears the final record");
+    assert!(report.pages_rebuilt > 0);
+
+    drive_chaos(&mut recovered, 48, 1);
+    assert!(!recovered.is_crashed());
+    assert!(recovered.compression_ratio() >= 1.0);
+    assert_eq!(recovered.device_stats().corruption_undetected, 0);
 }
 
 proptest! {

@@ -46,6 +46,21 @@ proptest! {
     }
 
     #[test]
+    fn any_single_bit_flip_is_detected(meta in arb_meta(), bit in 0usize..512) {
+        // DESIGN.md §10: the entry CRC covers every packed byte, so a
+        // single flipped bit anywhere in the 64 B entry must surface as
+        // a decode error — never a panic, never a silently different
+        // (or identical-by-luck) decode.
+        let bins = BinSet::aligned4();
+        let mut packed = encode_metadata(&meta, &bins);
+        packed[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(
+            decode_metadata(&packed, &bins).is_err(),
+            "bit {bit} flipped without detection"
+        );
+    }
+
+    #[test]
     fn packed_lines_never_overlap(meta in arb_meta()) {
         // For a compressed page with no inflated lines, every packed
         // line's byte range must be disjoint from every other's.
