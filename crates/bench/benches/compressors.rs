@@ -1,35 +1,83 @@
 //! Microbenchmarks of the compression algorithms over every data class.
+//!
+//! The `size_only` group measures the allocation-free `compressed_size`
+//! kernels (the device hot path); `full_encode` measures the zero-copy
+//! `compress_into` stream builders against a reused scratch buffer; the
+//! `alloc_encode` group keeps the allocating `compress` wrapper honest so
+//! regressions in either path show up side by side.
 
-use compresso_compression::{Bdi, Bpc, Compressor, Fpc, Line};
+use compresso_compression::{Bdi, Bpc, CPack, Compressor, Fpc, Line, Scratch};
 use compresso_workloads::{data::materialize, DataClass};
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+
+const CLASSES: [DataClass; 4] = [
+    DataClass::Zero,
+    DataClass::DeltaInt,
+    DataClass::Pointer,
+    DataClass::Random,
+];
 
 fn lines_of(class: DataClass) -> Vec<Line> {
     (0..64u64).map(|k| materialize(class, 42, k, 0)).collect()
 }
 
-fn bench_compress(c: &mut Criterion) {
-    let mut group = c.benchmark_group("compress");
-    for class in [
-        DataClass::Zero,
-        DataClass::DeltaInt,
-        DataClass::Pointer,
-        DataClass::Random,
-    ] {
+fn for_each_compressor(mut f: impl FnMut(&'static str, &dyn Compressor)) {
+    f("bpc", &Bpc::new());
+    f("bdi", &Bdi::new());
+    f("fpc", &Fpc::new());
+    f("cpack", &CPack::new());
+}
+
+fn bench_size_only(c: &mut Criterion) {
+    let mut group = c.benchmark_group("size_only");
+    for class in CLASSES {
         let lines = lines_of(class);
-        group.bench_function(format!("bpc/{class:?}"), |b| {
-            let bpc = Bpc::new();
-            b.iter(|| lines.iter().map(|l| bpc.compressed_size(l)).sum::<usize>())
-        });
-        group.bench_function(format!("bdi/{class:?}"), |b| {
-            let bdi = Bdi::new();
-            b.iter(|| lines.iter().map(|l| bdi.compressed_size(l)).sum::<usize>())
-        });
-        group.bench_function(format!("fpc/{class:?}"), |b| {
-            let fpc = Fpc::new();
-            b.iter(|| lines.iter().map(|l| fpc.compressed_size(l)).sum::<usize>())
+        for_each_compressor(|name, comp| {
+            group.bench_function(format!("{name}/{class:?}"), |b| {
+                b.iter(|| {
+                    lines
+                        .iter()
+                        .map(|l| comp.compressed_size(black_box(l)))
+                        .sum::<usize>()
+                })
+            });
         });
     }
+    group.finish();
+}
+
+fn bench_full_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_encode");
+    for class in CLASSES {
+        let lines = lines_of(class);
+        for_each_compressor(|name, comp| {
+            group.bench_function(format!("{name}/{class:?}"), |b| {
+                let mut scratch = Scratch::new();
+                b.iter(|| {
+                    lines
+                        .iter()
+                        .map(|l| comp.compress_into(black_box(l), &mut scratch).size_bytes())
+                        .sum::<usize>()
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_alloc_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alloc_encode");
+    let lines = lines_of(DataClass::DeltaInt);
+    for_each_compressor(|name, comp| {
+        group.bench_function(format!("{name}/DeltaInt"), |b| {
+            b.iter(|| {
+                lines
+                    .iter()
+                    .map(|l| comp.compress(black_box(l)).size_bytes())
+                    .sum::<usize>()
+            })
+        });
+    });
     group.finish();
 }
 
@@ -52,5 +100,11 @@ fn bench_roundtrip(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_compress, bench_roundtrip);
+criterion_group!(
+    benches,
+    bench_size_only,
+    bench_full_encode,
+    bench_alloc_encode,
+    bench_roundtrip
+);
 criterion_main!(benches);

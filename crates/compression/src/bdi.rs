@@ -12,9 +12,14 @@
 //! 4-bit mode, `8·base` bits of base value, one mask bit per element
 //! (1 = delta from base, 0 = delta from zero), then `8·delta` bits per
 //! element (two's complement).
+//!
+//! Because each geometry has a fixed encoded length, picking the winner
+//! only requires an applicability scan per geometry — no encoding is
+//! materialized until [`Compressor::compress_into`] runs, and
+//! [`Compressor::compressed_size`] never materializes one at all.
 
-use crate::bits::{BitReader, BitWriter};
-use crate::{Algorithm, CompressedLine, Compressor, Line, LINE_SIZE};
+use crate::bits::BitReader;
+use crate::{Algorithm, CompressedLine, CompressedLineRef, Compressor, Line, Scratch, LINE_SIZE};
 
 const MODE_ZERO: u64 = 0;
 const MODE_REPEAT8: u64 = 1;
@@ -29,6 +34,42 @@ const GEOMETRIES: [(usize, usize, u64); 6] = [
     (4, 2, 6),
     (2, 1, 7),
 ];
+
+/// Encoded bit length of a (base, delta) geometry:
+/// mode(4) + base + one mask bit and one delta per element.
+const fn geometry_bits(base_size: usize, delta_size: usize) -> usize {
+    let n = LINE_SIZE / base_size;
+    4 + base_size * 8 + n + n * delta_size * 8
+}
+
+/// The encoding the BDI selector picked for a line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Choice {
+    Zero,
+    Repeat8(u64),
+    Geometry {
+        base_size: usize,
+        delta_size: usize,
+        mode: u64,
+        base: i64,
+    },
+    Raw,
+}
+
+impl Choice {
+    fn bit_len(&self) -> usize {
+        match *self {
+            Choice::Zero => 4,
+            Choice::Repeat8(_) => 4 + 64,
+            Choice::Geometry {
+                base_size,
+                delta_size,
+                ..
+            } => geometry_bits(base_size, delta_size),
+            Choice::Raw => 4 + LINE_SIZE * 8,
+        }
+    }
+}
 
 /// The Base-Delta-Immediate algorithm.
 ///
@@ -50,43 +91,45 @@ impl Compressor for Bdi {
         "BDI"
     }
 
-    fn compress(&self, line: &Line) -> CompressedLine {
-        if crate::is_zero_line(line) {
-            let mut w = BitWriter::new();
-            w.write(MODE_ZERO, 4);
-            let (bytes, len) = w.into_parts();
-            return CompressedLine::new(Algorithm::Bdi, bytes, len);
-        }
-        if let Some(repeated) = repeated_u64(line) {
-            let mut w = BitWriter::new();
-            w.write(MODE_REPEAT8, 4);
-            w.write(repeated, 64);
-            let (bytes, len) = w.into_parts();
-            return CompressedLine::new(Algorithm::Bdi, bytes, len);
-        }
-        let mut best: Option<CompressedLine> = None;
-        for &(base_size, delta_size, mode) in GEOMETRIES.iter() {
-            if let Some(encoded) = try_geometry(line, base_size, delta_size, mode) {
-                let better = best
-                    .as_ref()
-                    .is_none_or(|b| encoded.bit_len() < b.bit_len());
-                if better {
-                    best = Some(encoded);
+    fn compress_into<'s>(&self, line: &Line, scratch: &'s mut Scratch) -> CompressedLineRef<'s> {
+        let choice = choose(line);
+        scratch.encode_with(Algorithm::Bdi, |w| match choice {
+            Choice::Zero => w.write(MODE_ZERO, 4),
+            Choice::Repeat8(value) => {
+                w.write(MODE_REPEAT8, 4);
+                w.write(value, 64);
+            }
+            Choice::Geometry {
+                base_size,
+                delta_size,
+                mode,
+                base,
+            } => {
+                let n = LINE_SIZE / base_size;
+                w.write(mode, 4);
+                w.write(base as u64, base_size * 8);
+                for i in 0..n {
+                    let v = element(line, i, base_size) as i128;
+                    w.write_bit(!fits_signed(v, delta_size));
+                }
+                for i in 0..n {
+                    let v = element(line, i, base_size) as i128;
+                    let d = if fits_signed(v, delta_size) {
+                        v
+                    } else {
+                        v - base as i128
+                    };
+                    w.write(d as i64 as u64, delta_size * 8);
                 }
             }
-        }
-        match best {
-            Some(encoded) if encoded.bit_len() < LINE_SIZE * 8 => encoded,
-            _ => {
-                let mut w = BitWriter::new();
+            Choice::Raw => {
                 w.write(MODE_RAW, 4);
-                for &byte in line.iter() {
-                    w.write(byte as u64, 8);
+                for chunk in line.chunks_exact(8) {
+                    let word = u64::from_be_bytes(chunk.try_into().expect("8-byte chunk"));
+                    w.write(word, 64);
                 }
-                let (bytes, len) = w.into_parts();
-                CompressedLine::new(Algorithm::Bdi, bytes, len)
             }
-        }
+        })
     }
 
     fn decompress(&self, compressed: &CompressedLine) -> Line {
@@ -120,6 +163,44 @@ impl Compressor for Bdi {
             }
         }
     }
+
+    fn compressed_size(&self, line: &Line) -> usize {
+        choose(line).bit_len().div_ceil(8).min(LINE_SIZE)
+    }
+}
+
+/// Runs the BDI selector without materializing any encoding: checks the
+/// degenerate modes, then scans each geometry for applicability (every
+/// geometry has a fixed encoded length, so the winner is the smallest
+/// applicable one, first in [`GEOMETRIES`] order on ties).
+fn choose(line: &Line) -> Choice {
+    if crate::is_zero_line(line) {
+        return Choice::Zero;
+    }
+    if let Some(repeated) = repeated_u64(line) {
+        return Choice::Repeat8(repeated);
+    }
+    let mut best: Option<Choice> = None;
+    let mut best_bits = usize::MAX;
+    for &(base_size, delta_size, mode) in GEOMETRIES.iter() {
+        let bits = geometry_bits(base_size, delta_size);
+        if bits >= best_bits {
+            continue;
+        }
+        if let Some(base) = geometry_base(line, base_size, delta_size) {
+            best = Some(Choice::Geometry {
+                base_size,
+                delta_size,
+                mode,
+                base,
+            });
+            best_bits = bits;
+        }
+    }
+    match best {
+        Some(choice) if best_bits < LINE_SIZE * 8 => choice,
+        _ => Choice::Raw,
+    }
 }
 
 fn repeated_u64(line: &Line) -> Option<u64> {
@@ -145,15 +226,12 @@ fn fits_signed(value: i128, bytes: usize) -> bool {
     (min..=max).contains(&value)
 }
 
-fn try_geometry(
-    line: &Line,
-    base_size: usize,
-    delta_size: usize,
-    mode: u64,
-) -> Option<CompressedLine> {
+/// Applicability scan for one geometry: returns the base (the first
+/// element not representable as a delta from zero — the canonical BDI
+/// choice — or 0 if all fit from zero) when every element is within delta
+/// range of either base, `None` otherwise. Allocation-free.
+fn geometry_base(line: &Line, base_size: usize, delta_size: usize) -> Option<i64> {
     let n = LINE_SIZE / base_size;
-    // The base is the first element that is not representable as a delta
-    // from zero (the canonical BDI choice).
     let mut base: Option<i64> = None;
     for i in 0..n {
         let v = element(line, i, base_size);
@@ -163,33 +241,13 @@ fn try_geometry(
         }
     }
     let base = base.unwrap_or(0);
-
-    let mut mask = Vec::with_capacity(n);
-    let mut deltas = Vec::with_capacity(n);
     for i in 0..n {
         let v = element(line, i, base_size) as i128;
-        if fits_signed(v, delta_size) {
-            mask.push(false);
-            deltas.push(v as i64);
-        } else if fits_signed(v - base as i128, delta_size) {
-            mask.push(true);
-            deltas.push((v - base as i128) as i64);
-        } else {
+        if !fits_signed(v, delta_size) && !fits_signed(v - base as i128, delta_size) {
             return None;
         }
     }
-
-    let mut w = BitWriter::new();
-    w.write(mode, 4);
-    w.write(base as u64, base_size * 8);
-    for &m in &mask {
-        w.write_bit(m);
-    }
-    for &d in &deltas {
-        w.write(d as u64, delta_size * 8);
-    }
-    let (bytes, len) = w.into_parts();
-    Some(CompressedLine::new(Algorithm::Bdi, bytes, len))
+    Some(base)
 }
 
 fn decode_geometry(r: &mut BitReader<'_>, base_size: usize, delta_size: usize) -> Line {
@@ -224,6 +282,11 @@ mod tests {
         let bdi = Bdi::new();
         let c = bdi.compress(line);
         assert_eq!(&bdi.decompress(&c), line, "BDI roundtrip failed");
+        assert_eq!(
+            bdi.compressed_size(line),
+            c.size_bytes(),
+            "size kernel disagrees with encoder"
+        );
         c.size_bytes()
     }
 
@@ -314,5 +377,34 @@ mod tests {
             chunk.copy_from_slice(&v.to_le_bytes());
         }
         roundtrip(&line);
+    }
+
+    #[test]
+    fn geometry_tie_prefers_earlier_entry() {
+        // (4,2) and (2,1) both encode to 308 bits; a line where exactly
+        // those two apply must pick (4,2) — the earlier GEOMETRIES entry —
+        // matching the original full-encode selector's strict-< scan.
+        //
+        // u32 elements alternate 1000 and 0x0048_0000 + e_i (e_i varying):
+        // (4,1) wastes its base on 1000 (first element over i8 range) so
+        // the big values kill it; (4,2) skips 1000 (fits i16 from zero)
+        // and bases on the big values; (2,1) bases on the u16 1000; the
+        // (8,*) geometries see deltas with a <<32 component and fail.
+        let mut line = [0u8; LINE_SIZE];
+        for (i, chunk) in line.chunks_exact_mut(4).enumerate() {
+            let v: u32 = if i % 2 == 0 {
+                1000
+            } else {
+                0x0048_0000 + 7 * i as u32
+            };
+            chunk.copy_from_slice(&v.to_le_bytes());
+        }
+        let bdi = Bdi::new();
+        let c = bdi.compress(&line);
+        let mut r = BitReader::new(c.payload());
+        assert_eq!(r.read(4), 6, "expected (4,2) geometry to win the tie");
+        assert_eq!(c.size_bytes(), 39); // 308 bits
+        assert_eq!(bdi.compressed_size(&line), 39);
+        assert_eq!(&bdi.decompress(&c), &line);
     }
 }

@@ -4,10 +4,19 @@
 //! shifter would serialize a code stream.
 
 /// Appends bit fields to a growing byte buffer, MSB-first.
+///
+/// Fields are staged in a 64-bit accumulator and spilled to the byte
+/// buffer one whole word at a time, so a `write` costs a couple of
+/// shifts instead of a loop per bit. The buffer can be recycled across
+/// encodes via [`BitWriter::reusing`], making a warm encode path free of
+/// heap allocation.
 #[derive(Debug, Default, Clone)]
 pub struct BitWriter {
     bytes: Vec<u8>,
-    bit_len: usize,
+    /// Staged bits, MSB-aligned; `acc_bits` of them are meaningful.
+    acc: u64,
+    /// Number of staged bits in `acc`; always `< 64` between calls.
+    acc_bits: u32,
 }
 
 impl BitWriter {
@@ -16,9 +25,20 @@ impl BitWriter {
         Self::default()
     }
 
+    /// Creates a writer that recycles `bytes` as its backing storage
+    /// (cleared, capacity kept) so a warm encode allocates nothing.
+    pub fn reusing(mut bytes: Vec<u8>) -> Self {
+        bytes.clear();
+        Self {
+            bytes,
+            acc: 0,
+            acc_bits: 0,
+        }
+    }
+
     /// Number of bits written so far.
     pub fn bit_len(&self) -> usize {
-        self.bit_len
+        self.bytes.len() * 8 + self.acc_bits as usize
     }
 
     /// Writes the low `width` bits of `value`, most significant bit first.
@@ -28,16 +48,31 @@ impl BitWriter {
     /// Panics if `width > 64`.
     pub fn write(&mut self, value: u64, width: usize) {
         assert!(width <= 64, "bit field wider than 64 bits");
-        for i in (0..width).rev() {
-            let bit = (value >> i) & 1;
-            let byte_idx = self.bit_len / 8;
-            if byte_idx == self.bytes.len() {
-                self.bytes.push(0);
+        if width == 0 {
+            return;
+        }
+        let value = if width == 64 {
+            value
+        } else {
+            value & ((1u64 << width) - 1)
+        };
+        let free = 64 - self.acc_bits as usize;
+        if width < free {
+            self.acc |= value << (free - width);
+            self.acc_bits += width as u32;
+        } else {
+            // The field fills (or overflows) the accumulator: spill one
+            // whole word and restage the leftover low bits.
+            let spill = width - free;
+            self.acc |= if spill == 0 { value } else { value >> spill };
+            self.bytes.extend_from_slice(&self.acc.to_be_bytes());
+            if spill == 0 {
+                self.acc = 0;
+                self.acc_bits = 0;
+            } else {
+                self.acc = value << (64 - spill);
+                self.acc_bits = spill as u32;
             }
-            if bit == 1 {
-                self.bytes[byte_idx] |= 1 << (7 - (self.bit_len % 8));
-            }
-            self.bit_len += 1;
         }
     }
 
@@ -46,9 +81,15 @@ impl BitWriter {
         self.write(bit as u64, 1);
     }
 
-    /// Consumes the writer, returning the backing bytes and exact bit length.
-    pub fn into_parts(self) -> (Vec<u8>, usize) {
-        (self.bytes, self.bit_len)
+    /// Consumes the writer, returning the backing bytes and exact bit
+    /// length. The returned buffer holds exactly `bit_len.div_ceil(8)`
+    /// bytes.
+    pub fn into_parts(mut self) -> (Vec<u8>, usize) {
+        let bit_len = self.bit_len();
+        let tail = (self.acc_bits as usize).div_ceil(8);
+        self.bytes
+            .extend_from_slice(&self.acc.to_be_bytes()[..tail]);
+        (self.bytes, bit_len)
     }
 }
 
@@ -136,6 +177,52 @@ mod tests {
         let mut r = BitReader::new(&bytes);
         assert_eq!(r.read(64), u64::MAX);
         assert_eq!(r.read(2), 0);
+    }
+
+    #[test]
+    fn exact_output_length() {
+        for widths in [vec![1usize], vec![7, 1], vec![64, 64, 3], vec![17; 9]] {
+            let mut w = BitWriter::new();
+            let mut total = 0;
+            for &width in &widths {
+                w.write(u64::MAX, width);
+                total += width;
+            }
+            assert_eq!(w.bit_len(), total);
+            let (bytes, len) = w.into_parts();
+            assert_eq!(len, total);
+            assert_eq!(bytes.len(), total.div_ceil(8));
+        }
+    }
+
+    #[test]
+    fn accumulator_spill_preserves_order() {
+        // Cross the 64-bit boundary with an unaligned field and check
+        // every bit lands where the per-bit writer would put it.
+        let mut w = BitWriter::new();
+        w.write(0x5, 3); // 101
+        w.write(u64::MAX, 64); // spans the spill
+        w.write(0b0110, 4);
+        let (bytes, len) = w.into_parts();
+        assert_eq!(len, 71);
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read(3), 0x5);
+        assert_eq!(r.read(64), u64::MAX);
+        assert_eq!(r.read(4), 0b0110);
+    }
+
+    #[test]
+    fn reusing_clears_but_keeps_capacity() {
+        let mut w = BitWriter::new();
+        w.write(0xABCD, 16);
+        let (bytes, _) = w.into_parts();
+        let cap = bytes.capacity();
+        let mut w = BitWriter::reusing(bytes);
+        assert_eq!(w.bit_len(), 0);
+        w.write(0x12, 8);
+        let (bytes, len) = w.into_parts();
+        assert_eq!((bytes.as_slice(), len), (&[0x12u8][..], 8));
+        assert!(bytes.capacity() >= cap.min(1));
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //! race: a 2-bit mode header selects zero-line / transformed /
 //! untransformed-bit-plane / raw.
 //!
+//! The size-only path runs the same race over *plane lengths*: both plane
+//! sets are built on the stack and costed with [`planes_bits`], never
+//! serialized.
+//!
 //! # Code table
 //!
 //! Each (31-bit or 32-bit) plane is encoded with a prefix-free code:
@@ -28,7 +32,7 @@
 //! | `1`   + plane-width raw bits | verbatim plane                |
 
 use crate::bits::{BitReader, BitWriter};
-use crate::{Algorithm, CompressedLine, Compressor, Line, LINE_SIZE};
+use crate::{Algorithm, CompressedLine, CompressedLineRef, Compressor, Line, Scratch, LINE_SIZE};
 
 const SYMBOLS: usize = 32; // 16-bit symbols per line
 const DELTAS: usize = SYMBOLS - 1; // 31
@@ -64,18 +68,19 @@ impl Bpc {
     /// This is "baseline BPC" — used to quantify the paper's claim that the
     /// best-of-both modification saves an average 13% more memory.
     pub fn compress_transform_only(&self, line: &Line) -> CompressedLine {
+        let mut w = BitWriter::new();
         if crate::is_zero_line(line) {
-            let mut w = BitWriter::new();
             w.write(MODE_ZERO, 2);
-            let (bytes, len) = w.into_parts();
-            return CompressedLine::new(Algorithm::Bpc, bytes, len);
-        }
-        let transformed = encode_transformed(line);
-        if transformed.bit_len() >= LINE_SIZE * 8 {
-            encode_raw(line)
         } else {
-            transformed
+            let (base, dbx) = transformed_planes(line);
+            if transformed_bits(base, &dbx) >= LINE_SIZE * 8 {
+                emit_raw(&mut w, line);
+            } else {
+                emit_transformed(&mut w, base, &dbx);
+            }
         }
+        let (bytes, len) = w.into_parts();
+        CompressedLine::new(Algorithm::Bpc, bytes, len)
     }
 }
 
@@ -84,27 +89,27 @@ impl Compressor for Bpc {
         "BPC"
     }
 
-    fn compress(&self, line: &Line) -> CompressedLine {
+    fn compress_into<'s>(&self, line: &Line, scratch: &'s mut Scratch) -> CompressedLineRef<'s> {
         if crate::is_zero_line(line) {
-            let mut w = BitWriter::new();
-            w.write(MODE_ZERO, 2);
-            let (bytes, len) = w.into_parts();
-            return CompressedLine::new(Algorithm::Bpc, bytes, len);
+            return scratch.encode_with(Algorithm::Bpc, |w| w.write(MODE_ZERO, 2));
         }
         // The paper's modification: race the transform against a direct
-        // bit-plane encoding and keep the smaller result.
-        let transformed = encode_transformed(line);
-        let plain = encode_bitplane(line);
-        let best = if transformed.bit_len() <= plain.bit_len() {
-            transformed
-        } else {
-            plain
-        };
-        if best.bit_len() >= LINE_SIZE * 8 {
-            encode_raw(line)
-        } else {
-            best
-        }
+        // bit-plane encoding and keep the smaller result (transformed on
+        // ties). Both plane sets live on the stack; only the winner is
+        // serialized.
+        let (base, dbx) = transformed_planes(line);
+        let planes = data_planes(line);
+        let t_bits = transformed_bits(base, &dbx);
+        let p_bits = 2 + planes_bits(&planes, SYMBOLS);
+        scratch.encode_with(Algorithm::Bpc, |w| {
+            if t_bits.min(p_bits) >= LINE_SIZE * 8 {
+                emit_raw(w, line);
+            } else if t_bits <= p_bits {
+                emit_transformed(w, base, &dbx);
+            } else {
+                emit_bitplane(w, &planes);
+            }
+        })
     }
 
     fn decompress(&self, compressed: &CompressedLine) -> Line {
@@ -122,6 +127,22 @@ impl Compressor for Bpc {
                 line
             }
             _ => unreachable!("2-bit mode"),
+        }
+    }
+
+    fn compressed_size(&self, line: &Line) -> usize {
+        if crate::is_zero_line(line) {
+            return 1; // 2-bit mode header
+        }
+        let (base, dbx) = transformed_planes(line);
+        let planes = data_planes(line);
+        let t_bits = transformed_bits(base, &dbx);
+        let p_bits = 2 + planes_bits(&planes, SYMBOLS);
+        let best = t_bits.min(p_bits);
+        if best >= LINE_SIZE * 8 {
+            LINE_SIZE // raw fallback
+        } else {
+            best.div_ceil(8)
         }
     }
 }
@@ -156,7 +177,9 @@ fn delta_planes(deltas: &[i32; DELTAS]) -> [u32; DELTA_BITS] {
     planes
 }
 
-fn encode_transformed(line: &Line) -> CompressedLine {
+/// Builds the transformed-mode planes: the base symbol plus the DBX'd
+/// delta planes (each plane XOR the next toward the LSB plane).
+fn transformed_planes(line: &Line) -> (u16, [u32; DELTA_BITS]) {
     let syms = symbols(line);
     let base = syms[0];
     let mut deltas = [0i32; DELTAS];
@@ -164,8 +187,6 @@ fn encode_transformed(line: &Line) -> CompressedLine {
         deltas[i] = syms[i + 1] as i32 - syms[i] as i32;
     }
     let planes = delta_planes(&deltas);
-    // DBX: XOR each plane with the next (toward the LSB plane); the last
-    // plane is emitted as-is.
     let mut dbx = [0u32; DELTA_BITS];
     for b in 0..DELTA_BITS {
         dbx[b] = if b + 1 < DELTA_BITS {
@@ -174,8 +195,29 @@ fn encode_transformed(line: &Line) -> CompressedLine {
             planes[b]
         };
     }
+    (base, dbx)
+}
 
-    let mut w = BitWriter::new();
+/// Builds the untransformed-mode planes: the 32 symbols' 16 bit-planes.
+fn data_planes(line: &Line) -> [u32; DATA_PLANES] {
+    let syms = symbols(line);
+    let mut planes = [0u32; DATA_PLANES];
+    for (j, &sym) in syms.iter().enumerate() {
+        for (b, plane) in planes.iter_mut().enumerate() {
+            let bit = ((sym as u32) >> (DATA_PLANES - 1 - b)) & 1;
+            *plane |= bit << j;
+        }
+    }
+    planes
+}
+
+/// Exact bit length of the transformed encoding (mode + base + planes).
+fn transformed_bits(base: u16, dbx: &[u32; DELTA_BITS]) -> usize {
+    let base_bits = if base == 0 { 1 } else { 1 + 16 };
+    2 + base_bits + planes_bits(dbx, DELTAS)
+}
+
+fn emit_transformed(w: &mut BitWriter, base: u16, dbx: &[u32; DELTA_BITS]) {
     w.write(MODE_TRANSFORMED, 2);
     if base == 0 {
         w.write_bit(false);
@@ -183,9 +225,7 @@ fn encode_transformed(line: &Line) -> CompressedLine {
         w.write_bit(true);
         w.write(base as u64, 16);
     }
-    encode_planes(&mut w, &dbx, DELTAS);
-    let (bytes, len) = w.into_parts();
-    CompressedLine::new(Algorithm::Bpc, bytes, len)
+    encode_planes(w, dbx, DELTAS);
 }
 
 fn decode_transformed(r: &mut BitReader<'_>) -> Line {
@@ -215,20 +255,9 @@ fn decode_transformed(r: &mut BitReader<'_>) -> Line {
 
 /// Untransformed mode: the 32 symbols' 16 bit-planes (32 bits wide each)
 /// encoded directly with the same pattern table.
-fn encode_bitplane(line: &Line) -> CompressedLine {
-    let syms = symbols(line);
-    let mut planes = [0u32; DATA_PLANES];
-    for (j, &sym) in syms.iter().enumerate() {
-        for (b, plane) in planes.iter_mut().enumerate() {
-            let bit = ((sym as u32) >> (DATA_PLANES - 1 - b)) & 1;
-            *plane |= bit << j;
-        }
-    }
-    let mut w = BitWriter::new();
+fn emit_bitplane(w: &mut BitWriter, planes: &[u32; DATA_PLANES]) {
     w.write(MODE_BITPLANE, 2);
-    encode_planes(&mut w, &planes, SYMBOLS);
-    let (bytes, len) = w.into_parts();
-    CompressedLine::new(Algorithm::Bpc, bytes, len)
+    encode_planes(w, planes, SYMBOLS);
 }
 
 fn decode_bitplane(r: &mut BitReader<'_>) -> Line {
@@ -245,14 +274,12 @@ fn decode_bitplane(r: &mut BitReader<'_>) -> Line {
     line_from_symbols(&syms)
 }
 
-fn encode_raw(line: &Line) -> CompressedLine {
-    let mut w = BitWriter::new();
+fn emit_raw(w: &mut BitWriter, line: &Line) {
     w.write(MODE_RAW, 2);
-    for &byte in line.iter() {
-        w.write(byte as u64, 8);
+    for chunk in line.chunks_exact(8) {
+        let word = u64::from_be_bytes(chunk.try_into().expect("8-byte chunk"));
+        w.write(word, 64);
     }
-    let (bytes, len) = w.into_parts();
-    CompressedLine::new(Algorithm::Bpc, bytes, len)
 }
 
 /// Encodes `planes` (each `width` bits wide) with the pattern code table,
@@ -290,6 +317,41 @@ fn encode_planes(w: &mut BitWriter, planes: &[u32], width: usize) {
         }
         i += 1;
     }
+}
+
+/// Bit-length counterpart of [`encode_planes`]: the exact number of bits
+/// that call would emit, without touching a writer.
+fn planes_bits(planes: &[u32], width: usize) -> usize {
+    let ones_mask: u32 = if width == 32 {
+        u32::MAX
+    } else {
+        (1 << width) - 1
+    };
+    let mut bits = 0;
+    let mut i = 0;
+    while i < planes.len() {
+        let plane = planes[i] & ones_mask;
+        if plane == 0 {
+            let mut run = 1;
+            while i + run < planes.len() && planes[i + run] & ones_mask == 0 && run < 32 {
+                run += 1;
+            }
+            bits += 2 + 5;
+            i += run;
+            continue;
+        }
+        bits += if plane == ones_mask {
+            3
+        } else if plane.count_ones() == 1 {
+            4 + 5
+        } else if plane.count_ones() == 2 && is_two_consecutive(plane) {
+            5 + 5
+        } else {
+            1 + width
+        };
+        i += 1;
+    }
+    bits
 }
 
 fn is_two_consecutive(plane: u32) -> bool {
@@ -339,6 +401,11 @@ mod tests {
         let bpc = Bpc::new();
         let c = bpc.compress(line);
         assert_eq!(&bpc.decompress(&c), line, "BPC roundtrip failed");
+        assert_eq!(
+            bpc.compressed_size(line),
+            c.size_bytes(),
+            "size kernel disagrees with encoder"
+        );
         c.size_bytes()
     }
 

@@ -17,10 +17,13 @@
 //!
 //! Unmatched (raw and partially matched) words are pushed into the
 //! dictionary, which starts empty for every line (lines must be
-//! independently decompressible in memory).
+//! independently decompressible in memory). The dictionary is a fixed
+//! 16-slot ring buffer: logical FIFO indices (the ones emitted in the bit
+//! stream) are preserved exactly while eviction becomes a pointer bump
+//! instead of a front-removal shift.
 
-use crate::bits::{BitReader, BitWriter};
-use crate::{Algorithm, CompressedLine, Compressor, Line, LINE_SIZE};
+use crate::bits::BitReader;
+use crate::{Algorithm, CompressedLine, CompressedLineRef, Compressor, Line, Scratch, LINE_SIZE};
 
 const WORDS: usize = LINE_SIZE / 4;
 const DICT: usize = 16;
@@ -40,30 +43,79 @@ impl CPack {
     }
 }
 
+/// 16-entry FIFO dictionary as a ring buffer. Logical index `i` (what the
+/// bit stream stores) lives at `entries[(start + i) % DICT]`; evicting the
+/// oldest entry advances `start` instead of shifting.
 #[derive(Default)]
 struct Dictionary {
-    entries: Vec<u32>,
+    entries: [u32; DICT],
+    start: usize,
+    len: usize,
 }
 
 impl Dictionary {
     fn push(&mut self, word: u32) {
-        if self.entries.len() == DICT {
-            self.entries.remove(0);
+        if self.len == DICT {
+            // Overwrite the oldest (logical index 0) and rotate.
+            self.entries[self.start] = word;
+            self.start = (self.start + 1) % DICT;
+        } else {
+            self.entries[(self.start + self.len) % DICT] = word;
+            self.len += 1;
         }
-        self.entries.push(word);
+    }
+
+    fn position(&self, pred: impl Fn(u32) -> bool) -> Option<usize> {
+        (0..self.len).find(|&i| pred(self.entries[(self.start + i) % DICT]))
     }
 
     fn full_match(&self, word: u32) -> Option<usize> {
-        self.entries.iter().position(|&e| e == word)
+        self.position(|e| e == word)
     }
 
     fn match_bytes(&self, word: u32, mask: u32) -> Option<usize> {
-        self.entries.iter().position(|&e| e & mask == word & mask)
+        self.position(|e| e & mask == word & mask)
     }
 
     fn get(&self, index: usize) -> u32 {
-        self.entries[index]
+        assert!(index < self.len, "C-Pack index past dictionary fill");
+        self.entries[(self.start + index) % DICT]
     }
+}
+
+/// Per-word code costs in bits (prefix + payload).
+const BITS_ZERO: usize = 2;
+const BITS_FULL_MATCH: usize = 2 + 4;
+const BITS_BYTE: usize = 4 + 8;
+const BITS_UPPER3: usize = 4 + 4 + 8;
+const BITS_UPPER2: usize = 4 + 4 + 16;
+const BITS_RAW: usize = 2 + 32;
+
+/// Exact encoded bit length: the same classification walk as the encoder
+/// (including dictionary pushes), summing code costs only.
+fn encoded_bits(line: &Line) -> usize {
+    let mut dict = Dictionary::default();
+    let mut bits = 0;
+    for chunk in line.chunks_exact(4) {
+        let word = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        bits += if word == 0 {
+            BITS_ZERO
+        } else if dict.full_match(word).is_some() {
+            BITS_FULL_MATCH
+        } else if word <= 0xFF {
+            BITS_BYTE
+        } else if dict.match_bytes(word, 0xFFFF_FF00).is_some() {
+            dict.push(word);
+            BITS_UPPER3
+        } else if dict.match_bytes(word, 0xFFFF_0000).is_some() {
+            dict.push(word);
+            BITS_UPPER2
+        } else {
+            dict.push(word);
+            BITS_RAW
+        };
+    }
+    bits
 }
 
 impl Compressor for CPack {
@@ -71,37 +123,36 @@ impl Compressor for CPack {
         "C-Pack"
     }
 
-    fn compress(&self, line: &Line) -> CompressedLine {
-        let mut w = BitWriter::new();
-        let mut dict = Dictionary::default();
-        for chunk in line.chunks_exact(4) {
-            let word = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
-            if word == 0 {
-                w.write(0b00, 2);
-            } else if let Some(idx) = dict.full_match(word) {
-                w.write(0b01, 2);
-                w.write(idx as u64, 4);
-            } else if word <= 0xFF {
-                w.write(0b1101, 4);
-                w.write(word as u64, 8);
-            } else if let Some(idx) = dict.match_bytes(word, 0xFFFF_FF00) {
-                w.write(0b1100, 4);
-                w.write(idx as u64, 4);
-                w.write((word & 0xFF) as u64, 8);
-                dict.push(word);
-            } else if let Some(idx) = dict.match_bytes(word, 0xFFFF_0000) {
-                w.write(0b1110, 4);
-                w.write(idx as u64, 4);
-                w.write((word & 0xFFFF) as u64, 16);
-                dict.push(word);
-            } else {
-                w.write(0b10, 2);
-                w.write(word as u64, 32);
-                dict.push(word);
+    fn compress_into<'s>(&self, line: &Line, scratch: &'s mut Scratch) -> CompressedLineRef<'s> {
+        scratch.encode_with(Algorithm::CPack, |w| {
+            let mut dict = Dictionary::default();
+            for chunk in line.chunks_exact(4) {
+                let word = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+                if word == 0 {
+                    w.write(0b00, 2);
+                } else if let Some(idx) = dict.full_match(word) {
+                    w.write(0b01, 2);
+                    w.write(idx as u64, 4);
+                } else if word <= 0xFF {
+                    w.write(0b1101, 4);
+                    w.write(word as u64, 8);
+                } else if let Some(idx) = dict.match_bytes(word, 0xFFFF_FF00) {
+                    w.write(0b1100, 4);
+                    w.write(idx as u64, 4);
+                    w.write((word & 0xFF) as u64, 8);
+                    dict.push(word);
+                } else if let Some(idx) = dict.match_bytes(word, 0xFFFF_0000) {
+                    w.write(0b1110, 4);
+                    w.write(idx as u64, 4);
+                    w.write((word & 0xFFFF) as u64, 16);
+                    dict.push(word);
+                } else {
+                    w.write(0b10, 2);
+                    w.write(word as u64, 32);
+                    dict.push(word);
+                }
             }
-        }
-        let (bytes, len) = w.into_parts();
-        CompressedLine::new(Algorithm::CPack, bytes, len)
+        })
     }
 
     fn decompress(&self, compressed: &CompressedLine) -> Line {
@@ -151,6 +202,10 @@ impl Compressor for CPack {
         }
         line
     }
+
+    fn compressed_size(&self, line: &Line) -> usize {
+        encoded_bits(line).div_ceil(8).min(LINE_SIZE)
+    }
 }
 
 #[cfg(test)]
@@ -161,6 +216,11 @@ mod tests {
         let c = CPack::new();
         let compressed = c.compress(line);
         assert_eq!(&c.decompress(&compressed), line, "C-Pack roundtrip failed");
+        assert_eq!(
+            c.compressed_size(line),
+            compressed.size_bytes(),
+            "size kernel disagrees with encoder"
+        );
         compressed.size_bytes()
     }
 
@@ -225,5 +285,18 @@ mod tests {
         }
         let c = CPack::new();
         assert_eq!(c.compress(&line), c.compress(&line));
+    }
+
+    #[test]
+    fn ring_eviction_preserves_fifo_indices() {
+        // More than 16 distinct unmatched words forces eviction; every
+        // emitted index must still decode to the word the encoder matched.
+        let mut line = [0u8; LINE_SIZE];
+        for (i, chunk) in line.chunks_exact_mut(4).enumerate() {
+            // Distinct upper halves so only the pushed words can match.
+            let word = ((0x0101_0000u32).wrapping_mul(i as u32 + 1)) | 0x100;
+            chunk.copy_from_slice(&word.to_le_bytes());
+        }
+        roundtrip(&line);
     }
 }

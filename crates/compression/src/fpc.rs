@@ -13,9 +13,12 @@
 //! | `101`  | two halfwords, each 8-bit sign-extended   | 16 bits |
 //! | `110`  | word of four repeated bytes               | 8 bits  |
 //! | `111`  | uncompressed word                         | 32 bits |
+//!
+//! The size-only path ([`Compressor::compressed_size`]) classifies each
+//! word and sums pattern costs without building the bit stream.
 
-use crate::bits::{BitReader, BitWriter};
-use crate::{Algorithm, CompressedLine, Compressor, Line, LINE_SIZE};
+use crate::bits::BitReader;
+use crate::{Algorithm, CompressedLine, CompressedLineRef, Compressor, Line, Scratch, LINE_SIZE};
 
 const WORDS: usize = LINE_SIZE / 4;
 
@@ -49,68 +52,98 @@ fn fits_signed(word: u32, bits: u32) -> bool {
     (min..=max).contains(&v)
 }
 
+/// Exact bit length of the normal (non-fallback) FPC stream for `ws`:
+/// the same walk the encoder performs, summing `3 + payload` costs.
+fn encoded_bits(ws: &[u32; WORDS]) -> usize {
+    let mut bits = 0;
+    let mut i = 0;
+    while i < WORDS {
+        let word = ws[i];
+        if word == 0 {
+            let mut run = 1;
+            while i + run < WORDS && ws[i + run] == 0 && run < 16 {
+                run += 1;
+            }
+            bits += 3 + 4;
+            i += run;
+            continue;
+        }
+        // The encoder's three 16-bit-payload patterns are consecutive,
+        // so they collapse into one cost branch here.
+        bits += 3 + if fits_signed(word, 4) {
+            4
+        } else if fits_signed(word, 8) {
+            8
+        } else if fits_signed(word, 16) || word & 0xFFFF == 0 || halfwords_fit_i8(word) {
+            16
+        } else if repeated_bytes(word) {
+            8
+        } else {
+            32
+        };
+        i += 1;
+    }
+    bits
+}
+
 impl Compressor for Fpc {
     fn name(&self) -> &'static str {
         "FPC"
     }
 
-    fn compress(&self, line: &Line) -> CompressedLine {
+    fn compress_into<'s>(&self, line: &Line, scratch: &'s mut Scratch) -> CompressedLineRef<'s> {
         let ws = words(line);
-        let mut w = BitWriter::new();
-        let mut i = 0;
-        while i < WORDS {
-            let word = ws[i];
-            if word == 0 {
-                let mut run = 1;
-                while i + run < WORDS && ws[i + run] == 0 && run < 16 {
-                    run += 1;
+        // Decide up front whether the pattern stream is profitable; if not,
+        // emit the all-uncompressed fallback stream (decoder-compatible,
+        // exposes raw size via the clamp in `size_bytes`).
+        let fallback = encoded_bits(&ws) >= LINE_SIZE * 8;
+        scratch.encode_with(Algorithm::Fpc, |w| {
+            if fallback {
+                for &word in ws.iter() {
+                    w.write(0b111, 3);
+                    w.write(word as u64, 32);
                 }
-                w.write(0b000, 3);
-                w.write(run as u64 - 1, 4);
-                i += run;
-                continue;
+                return;
             }
-            if fits_signed(word, 4) {
-                w.write(0b001, 3);
-                w.write((word & 0xF) as u64, 4);
-            } else if fits_signed(word, 8) {
-                w.write(0b010, 3);
-                w.write((word & 0xFF) as u64, 8);
-            } else if fits_signed(word, 16) {
-                w.write(0b011, 3);
-                w.write((word & 0xFFFF) as u64, 16);
-            } else if word & 0xFFFF == 0 {
-                w.write(0b100, 3);
-                w.write((word >> 16) as u64, 16);
-            } else if halfwords_fit_i8(word) {
-                w.write(0b101, 3);
-                w.write((word & 0xFF) as u64, 8);
-                w.write(((word >> 16) & 0xFF) as u64, 8);
-            } else if repeated_bytes(word) {
-                w.write(0b110, 3);
-                w.write((word & 0xFF) as u64, 8);
-            } else {
-                w.write(0b111, 3);
-                w.write(word as u64, 32);
+            let mut i = 0;
+            while i < WORDS {
+                let word = ws[i];
+                if word == 0 {
+                    let mut run = 1;
+                    while i + run < WORDS && ws[i + run] == 0 && run < 16 {
+                        run += 1;
+                    }
+                    w.write(0b000, 3);
+                    w.write(run as u64 - 1, 4);
+                    i += run;
+                    continue;
+                }
+                if fits_signed(word, 4) {
+                    w.write(0b001, 3);
+                    w.write((word & 0xF) as u64, 4);
+                } else if fits_signed(word, 8) {
+                    w.write(0b010, 3);
+                    w.write((word & 0xFF) as u64, 8);
+                } else if fits_signed(word, 16) {
+                    w.write(0b011, 3);
+                    w.write((word & 0xFFFF) as u64, 16);
+                } else if word & 0xFFFF == 0 {
+                    w.write(0b100, 3);
+                    w.write((word >> 16) as u64, 16);
+                } else if halfwords_fit_i8(word) {
+                    w.write(0b101, 3);
+                    w.write((word & 0xFF) as u64, 8);
+                    w.write(((word >> 16) & 0xFF) as u64, 8);
+                } else if repeated_bytes(word) {
+                    w.write(0b110, 3);
+                    w.write((word & 0xFF) as u64, 8);
+                } else {
+                    w.write(0b111, 3);
+                    w.write(word as u64, 32);
+                }
+                i += 1;
             }
-            i += 1;
-        }
-        let (bytes, len) = w.into_parts();
-        if len >= LINE_SIZE * 8 {
-            // Not profitable: fall back to the raw wrapper so the size
-            // never exceeds an uncompressed line.
-            let mut w = BitWriter::new();
-            // A line of 16 uncompressed words is the worst case; mark it
-            // with an all-uncompressed stream (the decoder handles it),
-            // but expose raw size.
-            for &word in ws.iter() {
-                w.write(0b111, 3);
-                w.write(word as u64, 32);
-            }
-            let (bytes, len) = w.into_parts();
-            return CompressedLine::new(Algorithm::Fpc, bytes, len);
-        }
-        CompressedLine::new(Algorithm::Fpc, bytes, len)
+        })
     }
 
     fn decompress(&self, compressed: &CompressedLine) -> Line {
@@ -169,6 +202,13 @@ impl Compressor for Fpc {
         }
         line
     }
+
+    fn compressed_size(&self, line: &Line) -> usize {
+        let bits = encoded_bits(&words(line));
+        // The unprofitable fallback stream is longer than a raw line but
+        // `size_bytes` clamps it, so both cases collapse to LINE_SIZE.
+        bits.div_ceil(8).min(LINE_SIZE)
+    }
 }
 
 fn halfwords_fit_i8(word: u32) -> bool {
@@ -190,6 +230,11 @@ mod tests {
         let fpc = Fpc::new();
         let c = fpc.compress(line);
         assert_eq!(&fpc.decompress(&c), line, "FPC roundtrip failed");
+        assert_eq!(
+            fpc.compressed_size(line),
+            c.size_bytes(),
+            "size kernel disagrees with encoder"
+        );
         c.size_bytes()
     }
 

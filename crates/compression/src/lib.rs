@@ -16,6 +16,18 @@
 //! stored: Compresso uses the alignment-friendly bins `{0, 8, 32, 64}` while
 //! prior work used `{0, 22, 44, 64}` (§IV-B1).
 //!
+//! # Hot paths
+//!
+//! A memory controller mostly needs the *size* a line would compress to
+//! (to pick a bin), not the encoded bytes. Every algorithm therefore
+//! implements [`Compressor::compressed_size`] as a dedicated size-only
+//! circuit that computes the exact encoded bit length with word-level
+//! arithmetic and no heap allocation. When the payload is needed,
+//! [`Compressor::compress_into`] encodes into a caller-provided
+//! [`Scratch`] buffer, so a warm full-encode path allocates nothing
+//! either; the classic allocating [`Compressor::compress`] remains as a
+//! thin wrapper.
+//!
 //! # Example
 //!
 //! ```
@@ -29,6 +41,7 @@
 //! }
 //! let compressed = bpc.compress(&line);
 //! assert!(compressed.size_bytes() < LINE_SIZE / 2);
+//! assert_eq!(bpc.compressed_size(&line), compressed.size_bytes());
 //! let roundtrip: Line = bpc.decompress(&compressed);
 //! assert_eq!(roundtrip, line);
 //! ```
@@ -81,19 +94,52 @@ impl std::fmt::Display for Algorithm {
     }
 }
 
+/// Backing storage of a [`CompressedLine`] payload.
+///
+/// A raw line keeps the original 64 bytes inline instead of copying them
+/// into a heap buffer: size-only inspections of a raw wrapper touch no
+/// allocator, and the bytes materialize only when a caller actually asks
+/// for [`CompressedLine::payload`].
+#[derive(Debug, Clone)]
+enum Payload {
+    /// An encoded bit stream.
+    Bits(Vec<u8>),
+    /// An uncompressed line stored verbatim (the lazy raw marker).
+    RawLine(Line),
+}
+
+impl Payload {
+    fn bytes(&self) -> &[u8] {
+        match self {
+            Payload::Bits(v) => v,
+            Payload::RawLine(line) => line,
+        }
+    }
+}
+
 /// The result of compressing one cache line.
 ///
 /// Holds the exact encoded bit stream so that [`Compressor::decompress`] can
 /// reconstruct the original line. `size_bytes` is the byte size the line
 /// occupies in memory: the bit length rounded up, clamped to [`LINE_SIZE`]
 /// (a line that does not compress is stored raw).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct CompressedLine {
     algorithm: Algorithm,
     /// Encoded payload; `bit_len` bits of it are meaningful.
-    payload: Vec<u8>,
+    payload: Payload,
     bit_len: usize,
 }
+
+impl PartialEq for CompressedLine {
+    fn eq(&self, other: &Self) -> bool {
+        self.algorithm == other.algorithm
+            && self.bit_len == other.bit_len
+            && self.payload() == other.payload()
+    }
+}
+
+impl Eq for CompressedLine {}
 
 impl CompressedLine {
     /// Creates a compressed line from an encoded bit stream.
@@ -104,16 +150,18 @@ impl CompressedLine {
         debug_assert!(payload.len() * 8 >= bit_len);
         Self {
             algorithm,
-            payload,
+            payload: Payload::Bits(payload),
             bit_len,
         }
     }
 
-    /// Wraps an uncompressed line (occupies the full 64 bytes).
+    /// Wraps an uncompressed line (occupies the full 64 bytes). Lazy: the
+    /// line is kept inline and no heap buffer is built unless
+    /// [`CompressedLine::payload`] is called.
     pub fn raw(line: &Line) -> Self {
         Self {
             algorithm: Algorithm::Raw,
-            payload: line.to_vec(),
+            payload: Payload::RawLine(*line),
             bit_len: LINE_SIZE * 8,
         }
     }
@@ -136,21 +184,102 @@ impl CompressedLine {
 
     /// The encoded payload bytes.
     pub fn payload(&self) -> &[u8] {
-        &self.payload
+        self.payload.bytes()
+    }
+}
+
+/// A reusable encode buffer. One `Scratch` per call site (typically per
+/// device) turns [`Compressor::compress_into`] into a zero-allocation
+/// operation after the first encode: the backing buffer is cleared and
+/// recycled, never reallocated (an encoded line is at most 72 bytes).
+#[derive(Debug, Default)]
+pub struct Scratch {
+    buf: Vec<u8>,
+}
+
+impl Scratch {
+    /// Creates an empty scratch buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `encode` over a [`BitWriter`] that recycles this scratch's
+    /// buffer, and returns a borrowed view of the encoded stream.
+    pub(crate) fn encode_with(
+        &mut self,
+        algorithm: Algorithm,
+        encode: impl FnOnce(&mut BitWriter),
+    ) -> CompressedLineRef<'_> {
+        let mut w = BitWriter::reusing(std::mem::take(&mut self.buf));
+        encode(&mut w);
+        let (bytes, bit_len) = w.into_parts();
+        self.buf = bytes;
+        CompressedLineRef {
+            algorithm,
+            payload: &self.buf,
+            bit_len,
+        }
+    }
+}
+
+/// A borrowed view of one compressed line living in a [`Scratch`] buffer
+/// — the allocation-free counterpart of [`CompressedLine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompressedLineRef<'a> {
+    algorithm: Algorithm,
+    payload: &'a [u8],
+    bit_len: usize,
+}
+
+impl<'a> CompressedLineRef<'a> {
+    /// The algorithm that produced this encoding.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// Exact encoded length in bits.
+    pub fn bit_len(&self) -> usize {
+        self.bit_len
+    }
+
+    /// Size in bytes this line occupies in memory (bits rounded up,
+    /// clamped to the raw line size).
+    pub fn size_bytes(&self) -> usize {
+        self.bit_len.div_ceil(8).min(LINE_SIZE)
+    }
+
+    /// The encoded payload bytes (borrowed from the scratch buffer).
+    pub fn payload(&self) -> &'a [u8] {
+        self.payload
+    }
+
+    /// Copies the borrowed stream into an owned [`CompressedLine`].
+    pub fn to_owned(&self) -> CompressedLine {
+        CompressedLine::new(self.algorithm, self.payload.to_vec(), self.bit_len)
     }
 }
 
 /// A cache-line compressor with a bit-exact decoder.
 ///
 /// Implementations must round-trip: `decompress(&compress(line)) == line`
-/// for every possible `line`.
+/// for every possible `line`, and the size-only fast path must agree with
+/// the encoder: `compressed_size(line) == compress(line).size_bytes()`.
 pub trait Compressor {
     /// Short human-readable algorithm name.
     fn name(&self) -> &'static str;
 
-    /// Compresses one line. Never returns an encoding larger than the raw
-    /// line: incompressible input falls back to [`CompressedLine::raw`].
-    fn compress(&self, line: &Line) -> CompressedLine;
+    /// Compresses one line into `scratch`, returning a borrowed view of
+    /// the encoded stream. Never returns an encoding larger than the raw
+    /// line. Allocation-free once the scratch buffer is warm.
+    fn compress_into<'s>(&self, line: &Line, scratch: &'s mut Scratch) -> CompressedLineRef<'s>;
+
+    /// Compresses one line into a fresh allocation. Never returns an
+    /// encoding larger than the raw line: incompressible input falls back
+    /// to a raw encoding. Thin wrapper over [`Compressor::compress_into`].
+    fn compress(&self, line: &Line) -> CompressedLine {
+        let mut scratch = Scratch::new();
+        self.compress_into(line, &mut scratch).to_owned()
+    }
 
     /// Decompresses a line previously produced by [`Compressor::compress`].
     ///
@@ -161,7 +290,11 @@ pub trait Compressor {
     /// recover from either).
     fn decompress(&self, compressed: &CompressedLine) -> Line;
 
-    /// Convenience: compressed size in bytes for `line`.
+    /// Compressed size in bytes for `line`.
+    ///
+    /// Implementations override this with a size-only circuit that never
+    /// materializes the encoding (what the hardware compressor's bin
+    /// selector computes); the default runs the full encoder.
     fn compressed_size(&self, line: &Line) -> usize {
         self.compress(line).size_bytes()
     }
@@ -217,11 +350,41 @@ mod tests {
     }
 
     #[test]
+    fn lazy_raw_equals_eager_raw() {
+        // A raw wrapper and a heap-backed stream with identical bytes
+        // must compare equal regardless of the backing representation.
+        let line = [0x5Au8; LINE_SIZE];
+        let lazy = CompressedLine::raw(&line);
+        let eager = CompressedLine::new(Algorithm::Raw, line.to_vec(), LINE_SIZE * 8);
+        assert_eq!(lazy, eager);
+        assert_eq!(lazy.payload(), &line[..]);
+    }
+
+    #[test]
     fn size_bytes_rounds_up_and_clamps() {
         let c = CompressedLine::new(Algorithm::Bpc, vec![0; 2], 9);
         assert_eq!(c.size_bytes(), 2);
         let c = CompressedLine::new(Algorithm::Bpc, vec![0; 70], 70 * 8);
         assert_eq!(c.size_bytes(), LINE_SIZE);
+    }
+
+    #[test]
+    fn compress_into_matches_compress() {
+        let mut line = [0u8; LINE_SIZE];
+        for (i, chunk) in line.chunks_exact_mut(2).enumerate() {
+            chunk.copy_from_slice(&(7 * i as u16).to_le_bytes());
+        }
+        let mut scratch = Scratch::new();
+        for (owned, borrowed) in [
+            (Bpc::new().compress(&line), {
+                Bpc::new().compress_into(&line, &mut scratch).to_owned()
+            }),
+            (Bdi::new().compress(&line), {
+                Bdi::new().compress_into(&line, &mut scratch).to_owned()
+            }),
+        ] {
+            assert_eq!(owned, borrowed);
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use compresso_compression::{
     bins::{accesses_for, is_split_access},
-    Bdi, BinSet, Bpc, CPack, Compressor, Fpc, Line, LINE_SIZE,
+    Bdi, BinSet, Bpc, CPack, Compressor, Fpc, Line, Scratch, LINE_SIZE,
 };
 use proptest::prelude::*;
 
@@ -47,6 +47,54 @@ fn roundtrips<C: Compressor>(c: &C, line: &Line) {
 
 fn prop_assert_eq_ok(got: &Line, want: &Line, algo: &str) {
     assert_eq!(got, want, "{algo} failed to round-trip");
+}
+
+/// The size-only fast path must agree with the full encoder, and the
+/// zero-allocation `compress_into` must produce the identical stream.
+fn size_kernel_agrees<C: Compressor>(c: &C, line: &Line) {
+    let compressed = c.compress(line);
+    assert_eq!(
+        c.compressed_size(line),
+        compressed.size_bytes(),
+        "{} size kernel disagrees with full encoder",
+        c.name()
+    );
+    let mut scratch = Scratch::new();
+    let borrowed = c.compress_into(line, &mut scratch);
+    assert_eq!(
+        (borrowed.payload(), borrowed.bit_len()),
+        (compressed.payload(), compressed.bit_len()),
+        "{} compress_into stream differs from compress",
+        c.name()
+    );
+}
+
+fn size_kernels_agree(line: &Line) {
+    size_kernel_agrees(&Bdi::new(), line);
+    size_kernel_agrees(&Fpc::new(), line);
+    size_kernel_agrees(&Bpc::new(), line);
+    size_kernel_agrees(&CPack::new(), line);
+}
+
+#[test]
+fn size_kernels_agree_on_degenerate_lines() {
+    // The degenerate BDI modes: all-zero and one repeated 8-byte value.
+    size_kernels_agree(&[0u8; LINE_SIZE]);
+    let mut repeat8 = [0u8; LINE_SIZE];
+    for chunk in repeat8.chunks_exact_mut(8) {
+        chunk.copy_from_slice(&0xDEAD_BEEF_CAFE_F00Du64.to_le_bytes());
+    }
+    size_kernels_agree(&repeat8);
+    // And a high-entropy raw-fallback line.
+    let mut raw = [0u8; LINE_SIZE];
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    for byte in raw.iter_mut() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *byte = (state >> 33) as u8;
+    }
+    size_kernels_agree(&raw);
 }
 
 proptest! {
@@ -103,6 +151,16 @@ proptest! {
     fn best_of_race_never_loses(line in arb_structured_line()) {
         let bpc = Bpc::new();
         assert!(bpc.compress(&line).bit_len() <= bpc.compress_transform_only(&line).bit_len());
+    }
+
+    #[test]
+    fn size_kernels_agree_random(line in arb_line()) {
+        size_kernels_agree(&line);
+    }
+
+    #[test]
+    fn size_kernels_agree_structured(line in arb_structured_line()) {
+        size_kernels_agree(&line);
     }
 
     #[test]

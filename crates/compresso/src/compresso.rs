@@ -3,7 +3,7 @@
 
 use crate::alloc::{BuddyAllocator, ChunkAllocator};
 use crate::config::{CompressoConfig, PageAllocation};
-use crate::device::MemoryDevice;
+use crate::device::{LineSizer, MemoryDevice};
 use crate::error::CompressoError;
 use crate::faultkit::{FaultPlan, FaultStats, MetadataFault};
 use crate::journal::{
@@ -16,7 +16,7 @@ use crate::metadata_codec::{self, CRC_OFFSET, PACKED_BYTES};
 use crate::predictor::OverflowPredictor;
 use crate::stats::{DeviceEvents, DeviceStats};
 use compresso_cache_sim::Backend;
-use compresso_compression::{Bdi, Bpc, Compressor, Fpc, Line};
+use compresso_compression::{Bdi, Bpc, CompressedLineRef, Compressor, Fpc, Line, Scratch};
 use compresso_mem_sim::{MainMemory, MemConfig, MemStats};
 use compresso_telemetry::Registry;
 use compresso_workloads::LineSource;
@@ -53,12 +53,26 @@ impl Codec {
         Codec::Bdi(Bdi::new())
     }
 
-    /// Compressed size in bytes of `line`.
+    /// Compressed size in bytes of `line` — the allocation-free size
+    /// kernel, never the full encoder.
     pub fn compressed_size(&self, line: &Line) -> usize {
         match self {
             Codec::Bpc(c) => c.compressed_size(line),
             Codec::Bdi(c) => c.compressed_size(line),
             Codec::Fpc(c) => c.compressed_size(line),
+        }
+    }
+
+    /// Fully encodes `line` into `scratch` (zero-allocation once warm).
+    pub fn compress_into<'s>(
+        &self,
+        line: &Line,
+        scratch: &'s mut Scratch,
+    ) -> CompressedLineRef<'s> {
+        match self {
+            Codec::Bpc(c) => c.compress_into(line, scratch),
+            Codec::Bdi(c) => c.compress_into(line, scratch),
+            Codec::Fpc(c) => c.compress_into(line, scratch),
         }
     }
 }
@@ -72,7 +86,7 @@ enum Allocator {
 /// controller (see crate docs).
 pub struct CompressoDevice {
     cfg: CompressoConfig,
-    codec: Codec,
+    sizer: LineSizer,
     world: Box<dyn LineSource>,
     mem: MainMemory,
     mcache: MetadataCache,
@@ -81,7 +95,6 @@ pub struct CompressoDevice {
     /// Buddy base address per page (Variable4 only).
     buddy_base: HashMap<u64, u64>,
     predictor: OverflowPredictor,
-    size_cache: HashMap<(u64, u64), u8>,
     prefetch: VecDeque<(u64, u32)>,
     stats: DeviceEvents,
     registry: Registry,
@@ -195,13 +208,12 @@ impl CompressoDevice {
             mcache: MetadataCache::paper_default(config.mcache_half_entries),
             mem: MainMemory::new(MemConfig::ddr4_2666()),
             cfg: config,
-            codec,
+            sizer: LineSizer::new(codec),
             world,
             pages: HashMap::new(),
             alloc,
             buddy_base: HashMap::new(),
             predictor: OverflowPredictor::new(),
-            size_cache: HashMap::new(),
             prefetch: VecDeque::new(),
             stats: DeviceEvents::new(),
             registry: Registry::new(),
@@ -679,18 +691,7 @@ impl CompressoDevice {
     // ------------------------------------------------------------------
 
     fn line_size(&mut self, line_addr: u64) -> usize {
-        let key = (line_addr / 64, self.world.generation(line_addr));
-        if let Some(&s) = self.size_cache.get(&key) {
-            return s as usize;
-        }
-        let data = self.world.line_data(line_addr);
-        let size = if compresso_compression::is_zero_line(&data) {
-            0
-        } else {
-            self.codec.compressed_size(&data)
-        };
-        self.size_cache.insert(key, size as u8);
-        size
+        self.sizer.size(self.world.as_ref(), line_addr, &self.stats)
     }
 
     fn line_bin(&mut self, line_addr: u64) -> u8 {

@@ -1,9 +1,122 @@
-//! The memory-device abstraction and the uncompressed baseline.
+//! The memory-device abstraction, the uncompressed baseline, and the
+//! shared size-only fast path ([`LineSizer`]) the compressed devices
+//! sit on.
 
+use crate::compresso::Codec;
 use crate::stats::{DeviceEvents, DeviceStats};
 use compresso_cache_sim::Backend;
+use compresso_compression::{CompressedLineRef, Scratch};
 use compresso_mem_sim::{MainMemory, MemConfig, MemStats};
 use compresso_telemetry::Registry;
+use compresso_workloads::LineSource;
+
+/// Entries in the direct-mapped line-size memo (~32 K lines ≈ 2 MB of
+/// OSPA coverage per device; conflicts just recompute).
+const MEMO_ENTRIES: usize = 1 << 15;
+
+/// One memo slot: the size of line `line_id` at content `generation`.
+#[derive(Debug, Clone, Copy)]
+struct MemoEntry {
+    line_id: u64,
+    generation: u64,
+    size: u8,
+    valid: bool,
+}
+
+const EMPTY_MEMO_ENTRY: MemoEntry = MemoEntry {
+    line_id: 0,
+    generation: 0,
+    size: 0,
+    valid: false,
+};
+
+/// The per-device size-only compression fast path shared by
+/// [`crate::CompressoDevice`] and [`crate::LcpDevice`].
+///
+/// Every fill/writeback/repack sizing goes through [`LineSizer::size`]:
+/// a direct-mapped memo keyed by line address and tagged with the line's
+/// *content generation* (bumped by the world on every write) answers
+/// re-sizings of untouched lines; misses run the codec's allocation-free
+/// size kernel. A stale tag can never be read — any write changes the
+/// generation, so the tag comparison fails and the size is recomputed.
+/// Conflict eviction only costs a recompute (the kernel is pure), so the
+/// memo is behaviorally invisible.
+///
+/// The embedded [`Scratch`] backs [`LineSizer::encode`], the only full-
+/// encode route on a device; it counts into
+/// `codec.size_fastpath.full_encode.total`, which device hot paths keep
+/// at zero.
+pub struct LineSizer {
+    codec: Codec,
+    memo: Box<[MemoEntry]>,
+    scratch: Scratch,
+}
+
+impl std::fmt::Debug for LineSizer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LineSizer")
+            .field("codec", &self.codec)
+            .finish_non_exhaustive()
+    }
+}
+
+impl LineSizer {
+    /// Creates a sizer for `codec` with a cold memo.
+    pub fn new(codec: Codec) -> Self {
+        Self {
+            codec,
+            memo: vec![EMPTY_MEMO_ENTRY; MEMO_ENTRIES].into_boxed_slice(),
+            scratch: Scratch::new(),
+        }
+    }
+
+    /// The codec this sizer runs.
+    pub fn codec(&self) -> Codec {
+        self.codec
+    }
+
+    /// Compressed size in bytes of the line at `line_addr` (0 for an
+    /// all-zero line), memoized per (line, content generation).
+    pub fn size(&mut self, world: &dyn LineSource, line_addr: u64, events: &DeviceEvents) -> usize {
+        events.size_calls.add(1);
+        let line_id = line_addr / 64;
+        let generation = world.generation(line_addr);
+        let slot = (line_id as usize) & (MEMO_ENTRIES - 1);
+        let entry = &self.memo[slot];
+        if entry.valid && entry.line_id == line_id && entry.generation == generation {
+            events.size_memo_hits.add(1);
+            return entry.size as usize;
+        }
+        events.size_memo_misses.add(1);
+        let data = world.line_data(line_addr);
+        let size = if compresso_compression::is_zero_line(&data) {
+            0
+        } else {
+            self.codec.compressed_size(&data)
+        };
+        self.memo[slot] = MemoEntry {
+            line_id,
+            generation,
+            size: size as u8,
+            valid: true,
+        };
+        size
+    }
+
+    /// Fully encodes the line at `line_addr` into the embedded scratch
+    /// buffer (zero-allocation once warm). Not used by the fill/writeback
+    /// paths — the `full_encode` counter proves it.
+    pub fn encode(
+        &mut self,
+        world: &dyn LineSource,
+        line_addr: u64,
+        events: &DeviceEvents,
+    ) -> CompressedLineRef<'_> {
+        events.size_full_encodes.add(1);
+        let data = world.line_data(line_addr);
+        self.codec.compress_into(&data, &mut self.scratch)
+    }
+}
 
 /// A main-memory device: the uncompressed baseline, Compresso, or an LCP
 /// variant. All devices speak OSPA line addresses on the LLC side and

@@ -9,7 +9,7 @@
 
 use crate::alloc::BuddyAllocator;
 use crate::compresso::{alloc_buddy_with_retry, Codec};
-use crate::device::MemoryDevice;
+use crate::device::{LineSizer, MemoryDevice};
 use crate::faultkit::{FaultPlan, FaultStats};
 use crate::journal::{
     self, AppendOutcome, DurabilityEvents, Journal, JournalRecord, LcpImage, PageImage,
@@ -46,13 +46,12 @@ struct LcpMeta {
 pub struct LcpDevice {
     name: &'static str,
     bins: BinSet,
-    codec: Codec,
+    sizer: LineSizer,
     world: Box<dyn LineSource>,
     mem: MainMemory,
     mcache: MetadataCache,
     alloc: BuddyAllocator,
     pages: HashMap<u64, LcpMeta>,
-    size_cache: HashMap<(u64, u64), u8>,
     prefetch: VecDeque<(u64, u32)>,
     stats: DeviceEvents,
     registry: Registry,
@@ -102,13 +101,12 @@ impl LcpDevice {
         let device = Self {
             name,
             bins,
-            codec: Codec::bpc(),
+            sizer: LineSizer::new(Codec::bpc()),
             world,
             mem: MainMemory::new(MemConfig::ddr4_2666()),
             mcache: MetadataCache::paper_default(false),
             alloc: BuddyAllocator::new(8 << 30),
             pages: HashMap::new(),
-            size_cache: HashMap::new(),
             prefetch: VecDeque::new(),
             stats: DeviceEvents::new(),
             registry: Registry::new(),
@@ -157,18 +155,7 @@ impl LcpDevice {
     }
 
     fn line_size(&mut self, line_addr: u64) -> usize {
-        let key = (line_addr / 64, self.world.generation(line_addr));
-        if let Some(&s) = self.size_cache.get(&key) {
-            return s as usize;
-        }
-        let data = self.world.line_data(line_addr);
-        let size = if compresso_compression::is_zero_line(&data) {
-            0
-        } else {
-            self.codec.compressed_size(&data)
-        };
-        self.size_cache.insert(key, size as u8);
-        size
+        self.sizer.size(self.world.as_ref(), line_addr, &self.stats)
     }
 
     fn page_fit(bytes: u32) -> u32 {

@@ -75,6 +75,10 @@ device_events! {
     alloc_retries => "alloc.retry.total",
     alloc_failures => "alloc.failure.total",
     balloon_retries => "balloon.retry.total",
+    size_calls => "codec.size_fastpath.call.total",
+    size_memo_hits => "codec.size_fastpath.memo_hit.total",
+    size_memo_misses => "codec.size_fastpath.memo_miss.total",
+    size_full_encodes => "codec.size_fastpath.full_encode.total",
 }
 
 /// Counters shared by all [`crate::MemoryDevice`] implementations.
@@ -153,6 +157,18 @@ pub struct DeviceStats {
     /// Balloon-driver inflate retries reported via
     /// `MpaController::on_balloon_retry`.
     pub balloon_retries: u64,
+
+    /// Size-only fast-path invocations (every fill/writeback/repack line
+    /// sizing goes through [`crate::LineSizer`]).
+    pub size_calls: u64,
+    /// Size queries answered by the direct-mapped memo without touching
+    /// the line data or the kernel.
+    pub size_memo_hits: u64,
+    /// Size queries that ran the size-only kernel (memo tag mismatch).
+    pub size_memo_misses: u64,
+    /// Full (payload-materializing) encodes reached from the device size
+    /// path. Must stay zero: the hot path is size-only by construction.
+    pub size_full_encodes: u64,
 }
 
 impl DeviceStats {
@@ -268,6 +284,33 @@ mod tests {
         // The registry sees the reset through the shared handles.
         assert_eq!(
             reg.snapshot().counter("compresso.page_overflow.total"),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn size_fastpath_counters_are_registered() {
+        let mut ev = DeviceEvents::new();
+        ev.size_calls += 5;
+        ev.size_memo_hits += 3;
+        ev.size_memo_misses += 2;
+        let reg = Registry::new();
+        ev.register_metrics(&reg, "compresso");
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter("compresso.codec.size_fastpath.call.total"),
+            Some(5)
+        );
+        assert_eq!(
+            snap.counter("compresso.codec.size_fastpath.memo_hit.total"),
+            Some(3)
+        );
+        assert_eq!(
+            snap.counter("compresso.codec.size_fastpath.memo_miss.total"),
+            Some(2)
+        );
+        assert_eq!(
+            snap.counter("compresso.codec.size_fastpath.full_encode.total"),
             Some(0)
         );
     }

@@ -211,6 +211,49 @@ fn journaled_chaos_crashes_and_recovers() {
     assert_eq!(recovered.device_stats().corruption_undetected, 0);
 }
 
+#[test]
+fn size_memo_never_masks_durable_rot_corruption() {
+    // The line-size memo is tagged by (line, content generation); any
+    // durable-rot bit flip or metadata fault that lands after a size is
+    // memoized must still surface through the entry CRC on the next
+    // access — a stale memo hit must never paper over corruption.
+    let mut d = CompressoDevice::new(CompressoConfig::durable(), world("soplex"));
+    d.inject_faults(FaultPlan::aggressive(0x5EED_0FD0));
+    drive_chaos(&mut d, 48, 3);
+    let dev = d.device_stats();
+    let faults = *d.fault_stats().expect("plan attached");
+    assert!(
+        faults.rot_flips > 0,
+        "schedule must exercise durable rot ({faults:?})"
+    );
+    assert!(
+        dev.corruption_detected > 0,
+        "rot must surface as detected corruption with the memo enabled ({dev:?})"
+    );
+    assert_eq!(
+        dev.corruption_undetected, 0,
+        "a stale memo hit must never mask a metadata fault"
+    );
+    // Fast-path accounting: every size query is exactly one memo hit or
+    // miss, the chaos re-reads actually exercise the memo, and the
+    // device never falls back to the allocating encode path.
+    assert!(dev.size_calls > 0, "chaos must query line sizes");
+    assert_eq!(
+        dev.size_calls,
+        dev.size_memo_hits + dev.size_memo_misses,
+        "size calls must split exactly into hits and misses"
+    );
+    assert!(
+        dev.size_memo_hits > 0,
+        "repeated accesses to clean lines must hit the memo"
+    );
+    assert_eq!(
+        dev.size_full_encodes, 0,
+        "device hot paths are size-only; no full encodes expected"
+    );
+    assert_consistent("memo-durable-rot", &dev, &faults);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 

@@ -11,7 +11,10 @@
 //!
 //! Flags: `--ops N` (memory ops per cell, default 20000), `--jobs N`,
 //! `--out <path>` (default `BENCH_compresso.json`), `--baseline <path>`,
-//! `--max-regress <percent>` (default 20).
+//! `--max-regress <percent>` (default 20), `--benchmarks a,b` (restrict
+//! the grid to a comma-separated subset of the frozen benchmark set —
+//! for smoke runs only; subset throughput is not comparable to the
+//! full-grid baseline).
 
 use compresso_exp::{arg_usize, params_banner, run_grid, SweepCell, SweepOptions, SystemKind};
 use compresso_telemetry::{
@@ -48,16 +51,44 @@ fn main() {
     let out = arg_str("--out").unwrap_or_else(|| "BENCH_compresso.json".to_string());
     let baseline = arg_str("--baseline");
     let max_regress = arg_usize(&args, "--max-regress", 20) as f64 / 100.0;
+    let bench_set: Vec<&str> = match arg_str("--benchmarks") {
+        Some(list) => {
+            let requested: Vec<String> = list
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect();
+            for name in &requested {
+                if !BENCH_SET.contains(&name.as_str()) {
+                    eprintln!(
+                        "error: unknown benchmark {name:?} (frozen set: {})",
+                        BENCH_SET.join(", ")
+                    );
+                    std::process::exit(1);
+                }
+            }
+            BENCH_SET
+                .into_iter()
+                .filter(|b| requested.iter().any(|r| r == b))
+                .collect()
+        }
+        None => BENCH_SET.to_vec(),
+    };
+    if bench_set.is_empty() {
+        eprintln!("error: --benchmarks selected no cells");
+        std::process::exit(1);
+    }
 
     println!("{}\n", params_banner());
     println!(
         "bench: {} benchmarks x {} systems, {ops} ops/cell, {} jobs\n",
-        BENCH_SET.len(),
+        bench_set.len(),
         SystemKind::evaluated().len(),
         opts.jobs
     );
 
-    let cells: Vec<SweepCell> = BENCH_SET
+    let cells: Vec<SweepCell> = bench_set
         .iter()
         .flat_map(|name| {
             SystemKind::evaluated()
